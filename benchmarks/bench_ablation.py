@@ -1,0 +1,26 @@
+"""Ablation benchmarks: parameter sensitivity of the construction (DESIGN.md design choices)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_epsilon_ablation, run_kappa_ablation, run_rho_ablation
+
+
+def test_epsilon_ablation(benchmark):
+    record = benchmark.pedantic(lambda: run_epsilon_ablation(sample_pairs=100), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    assert record.all_checks_passed, record.checks
+
+
+def test_rho_ablation(benchmark):
+    record = benchmark.pedantic(lambda: run_rho_ablation(sample_pairs=100), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    assert record.all_checks_passed, record.checks
+
+
+def test_kappa_ablation(benchmark):
+    record = benchmark.pedantic(lambda: run_kappa_ablation(sample_pairs=100), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    assert record.all_checks_passed, record.checks

@@ -1,0 +1,27 @@
+"""Extra benchmark: wall-clock cost of the CONGEST-simulated engine vs. the centralized one.
+
+Not a paper artifact -- this measures the reproduction's own machinery so
+users know what to expect when they switch engines (the distributed engine
+pays per-message simulation overhead but produces identical phase structure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_spanner
+from repro.experiments import default_parameters
+from repro.graphs import gnp_random_graph
+
+
+@pytest.fixture(scope="module")
+def engine_graph():
+    return gnp_random_graph(120, 0.05, seed=21)
+
+
+@pytest.mark.parametrize("engine", ["centralized", "distributed"])
+def test_engine_wall_clock(benchmark, engine_graph, engine):
+    parameters = default_parameters()
+    result = benchmark(lambda: build_spanner(engine_graph, parameters=parameters, engine=engine))
+    assert result.num_edges > 0
+    assert result.unclustered_partitions_vertices()

@@ -1,0 +1,16 @@
+"""Benchmark F1: Figure 1 -- superclusters grown around chosen popular centers."""
+
+from __future__ import annotations
+
+from repro.experiments import figure1_superclustering
+
+
+def test_figure1_superclustering(benchmark, figure_result):
+    record = benchmark.pedantic(lambda: figure1_superclustering(figure_result), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 1 checks failed: {failed}"
+    # The planted-community workload must actually exercise superclustering.
+    assert any(row["popular"] > 0 for row in record.rows)
+    assert any(row["superclustered"] > 0 for row in record.rows)

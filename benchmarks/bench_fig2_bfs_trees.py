@@ -1,0 +1,16 @@
+"""Benchmark F2: Figure 2 -- BFS trees of new superclusters added to H (Lemma 2.3)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure2_bfs_trees
+
+
+def test_figure2_bfs_trees(benchmark, figure_result):
+    record = benchmark.pedantic(lambda: figure2_bfs_trees(figure_result), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 2 checks failed: {failed}"
+    # Radii must respect the R_i bounds on every phase with clusters.
+    for row in record.rows:
+        assert row["max_radius_measured"] <= row["radius_bound_R_i"]

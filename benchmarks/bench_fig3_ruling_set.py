@@ -1,0 +1,18 @@
+"""Benchmark F3: Figure 3 -- disjoint delta_i-neighbourhoods of the ruling set (Theorem 2.2)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3_ruling_set
+
+
+def test_figure3_ruling_set(benchmark, figure_result):
+    record = benchmark.pedantic(lambda: figure3_ruling_set(figure_result), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 3 checks failed: {failed}"
+    assert record.rows, "the workload must produce at least one non-trivial ruling set"
+    for row in record.rows:
+        assert row["neighbourhood_overlaps"] == 0
+        if row["min_separation"] is not None:
+            assert row["min_separation"] >= row["required_separation"]

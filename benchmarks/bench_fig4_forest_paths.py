@@ -1,0 +1,16 @@
+"""Benchmark F4: Figure 4 -- forest paths from roots to member centers added to H."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4_forest_paths
+
+
+def test_figure4_forest_paths(benchmark, figure_result):
+    record = benchmark.pedantic(lambda: figure4_forest_paths(figure_result), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 4 checks failed: {failed}"
+    assert record.rows, "the workload must produce at least one superclustering phase"
+    for row in record.rows:
+        assert row["max_root_to_center_distance_in_H"] <= row["depth_bound"]

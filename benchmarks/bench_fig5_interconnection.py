@@ -1,0 +1,16 @@
+"""Benchmark F5: Figure 5 -- interconnection paths vs. the deg_i budget (Lemma 2.12)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5_interconnection
+
+
+def test_figure5_interconnection(benchmark, figure_result):
+    record = benchmark.pedantic(lambda: figure5_interconnection(figure_result), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 5 checks failed: {failed}"
+    for row in record.rows:
+        if row["max_paths_per_center"]:
+            assert row["max_paths_per_center"] < row["deg_i_budget"]

@@ -1,0 +1,15 @@
+"""Benchmark F6: Figure 6 -- the neighbouring-cluster hop bound of Lemma 2.15."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6_cluster_hop
+
+
+def test_figure6_cluster_hop(benchmark, figure_result):
+    record = benchmark.pedantic(lambda: figure6_cluster_hop(figure_result), rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 6 checks failed: {failed}"
+    for row in record.rows:
+        assert row["max_measured"] <= row["bound"]

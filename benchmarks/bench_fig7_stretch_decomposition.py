@@ -1,0 +1,18 @@
+"""Benchmark F7: Figure 7 -- end-to-end stretch decomposition vs. the (1+eps, beta) guarantee."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7_stretch_decomposition
+
+
+def test_figure7_stretch_decomposition(benchmark, figure_result):
+    record = benchmark.pedantic(
+        lambda: figure7_stretch_decomposition(figure_result, sample_pairs=400), rounds=1, iterations=1
+    )
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 7 checks failed: {failed}"
+    assert record.parameters["pairs_checked"] > 0
+    for row in record.rows:
+        assert row["max_additive_surplus"] <= row["allowed_surplus"] + 1e-9

@@ -1,0 +1,17 @@
+"""Benchmark F8: Figure 8 -- the segmenting argument of Lemma 2.16 (eq. 15)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure8_segment_argument
+
+
+def test_figure8_segment_argument(benchmark, figure_result):
+    record = benchmark.pedantic(
+        lambda: figure8_segment_argument(figure_result, sample_pairs=400), rounds=1, iterations=1
+    )
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Figure 8 checks failed: {failed}"
+    for row in record.rows:
+        assert row["max_surplus"] <= row["per-segment-allowance"] + 1e-9

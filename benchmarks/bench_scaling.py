@@ -1,0 +1,18 @@
+"""Benchmark S1: scaling of rounds and spanner size with n (Corollaries 2.9 / 2.13)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_scaling
+
+
+def _run():
+    return run_scaling(sizes=(80, 160, 320, 640), sample_pairs=100)
+
+
+def test_scaling_rounds_and_size(benchmark):
+    record = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Scaling shape checks failed: {failed}"
+    assert record.parameters["rounds-exponent"] < 1.0

@@ -1,0 +1,35 @@
+"""Benchmark T1: regenerate Table 1 (deterministic CONGEST algorithms compared).
+
+Prints the theoretical rows (published formulas) and the measured n-sweep
+comparing the new algorithm with the Elkin'05-style sequential surrogate, and
+asserts the paper's qualitative shape:
+
+* the new algorithm's nominal rounds grow sublinearly (~n^rho);
+* its center-selection step grows strictly slower than a sequential scan;
+* its additive term's formula eventually drops below Elkin'05's as kappa grows;
+* every produced spanner satisfies its stretch guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1
+
+
+def _run():
+    return run_table1(sizes=(80, 160, 320), epsilon=0.25, kappa=3, rho=1.0 / 3.0, sample_pairs=120)
+
+
+def test_table1_reproduction(benchmark):
+    record = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Table 1 shape checks failed: {failed}"
+
+
+def test_table1_theory_rows_have_both_algorithms():
+    record = run_table1(sizes=(64,), sample_pairs=50)
+    theory = [row for row in record.rows if row.get("kind") == "theory"]
+    references = {row["reference"] for row in theory}
+    assert any("Elkin'05" in ref for ref in references)
+    assert any("New" in ref for ref in references)

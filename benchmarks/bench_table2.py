@@ -1,0 +1,35 @@
+"""Benchmark T2: regenerate Table 2 (the Appendix B survey).
+
+Prints all fourteen formula rows plus measured rows for every implemented
+algorithm on a shared workload, and asserts the qualitative shape: the
+near-additive constructions distort long distances no more than the
+multiplicative baselines while all spanners stay sparse, and every declared
+guarantee holds on the measured pairs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table2
+
+
+def _run():
+    return run_table2(n=140, epsilon=0.25, kappa=3, rho=1.0 / 3.0, sample_pairs=150)
+
+
+def test_table2_reproduction(benchmark):
+    record = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(record.render())
+    failed = [name for name, ok in record.checks.items() if not ok]
+    assert not failed, f"Table 2 shape checks failed: {failed}"
+    theory_rows = [row for row in record.rows if row.get("kind") == "theory"]
+    assert len(theory_rows) == 14, "Table 2 has 14 survey rows"
+
+
+def test_table2_measured_rows_cover_implemented_algorithms():
+    record = run_table2(n=100, sample_pairs=80, include_distributed=False, include_greedy=False)
+    measured = {str(row["algorithm"]) for row in record.rows if row.get("kind") == "measured"}
+    assert any("new-deterministic" in name for name in measured)
+    assert "elkin-neiman-2017" in measured
+    assert "elkin-peleg-2001" in measured
+    assert "baswana-sen" in measured

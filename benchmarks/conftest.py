@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table or figure (see DESIGN.md's
+per-experiment index).  Workload sizes are kept moderate so the whole harness
+completes in a few minutes; the experiment modules accept larger sizes for
+standalone runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import default_parameters
+from repro.graphs import planted_partition_graph
+
+
+@pytest.fixture(scope="session")
+def figure_parameters():
+    """Parameter setting shared by all figure benchmarks."""
+    return default_parameters(epsilon=0.25, kappa=3, rho=1.0 / 3.0)
+
+
+@pytest.fixture(scope="session")
+def figure_graph():
+    """Workload shared by the figure benchmarks: a planted-community graph.
+
+    Community structure maximizes the number of popular clusters, so every
+    phase mechanism the figures illustrate is actually exercised.
+    """
+    return planted_partition_graph(10, 14, p_intra=0.5, p_inter=0.02, seed=13)
+
+
+@pytest.fixture(scope="session")
+def figure_result(figure_graph, figure_parameters):
+    """One shared spanner build for the figure benchmarks that only analyse it."""
+    from repro.experiments import build_result
+
+    return build_result(figure_graph, figure_parameters, engine="centralized")

@@ -1,0 +1,84 @@
+"""Plain-text / markdown rendering of experiment tables.
+
+The benchmark harness prints the regenerated paper tables through these
+helpers so a run of ``pytest benchmarks/ --benchmark-only`` shows the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human-friendly formatting: scientific for huge magnitudes, fixed otherwise."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if math.isinf(value):
+            return "inf"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), max(len(rendered[i]) for rendered in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a list of dictionaries as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |", "| " + " | ".join("---" for _ in columns) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(row.get(col)) for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Sequence[float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render named numeric series (a text stand-in for a figure's curves)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name in sorted(series.keys()):
+        values = ", ".join(format_value(v) for v in series[name])
+        lines.append(f"  {name} ({x_label}): [{values}]")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Spanner size accounting (paper Section 2.4.2).
+
+Compares measured edge counts against the per-phase bounds of Lemma 2.12 and
+the overall ``O(beta * n^{1+1/kappa})`` bound of Corollary 2.13, and provides
+the per-step breakdown used by the Figure 4/5 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP
+from ..core.result import SpannerResult
+
+
+@dataclass
+class SizeReport:
+    """Measured size of a spanner vs. its theoretical envelopes."""
+
+    num_vertices: int
+    num_graph_edges: int
+    num_spanner_edges: int
+    size_bound: float
+    per_phase_edges: Dict[int, int]
+    superclustering_edges: int
+    interconnection_edges: int
+    density_ratio: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measured size respects the theoretical bound."""
+        return self.num_spanner_edges <= self.size_bound + 1e-9
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_graph_edges": self.num_graph_edges,
+            "num_spanner_edges": self.num_spanner_edges,
+            "size_bound": self.size_bound,
+            "within_bound": self.within_bound,
+            "per_phase_edges": dict(sorted(self.per_phase_edges.items())),
+            "superclustering_edges": self.superclustering_edges,
+            "interconnection_edges": self.interconnection_edges,
+            "density_ratio": self.density_ratio,
+        }
+
+
+def size_report(result: SpannerResult) -> SizeReport:
+    """Build a :class:`SizeReport` for a run of the deterministic algorithm."""
+    per_phase: Dict[int, int] = {}
+    for (phase, _step), count in result.certificate.count_by_phase_and_step().items():
+        per_phase[phase] = per_phase.get(phase, 0) + count
+    by_step = result.certificate.summary()
+    graph_edges = result.graph.num_edges
+    return SizeReport(
+        num_vertices=result.num_vertices,
+        num_graph_edges=graph_edges,
+        num_spanner_edges=result.num_edges,
+        size_bound=result.parameters.size_bound(result.num_vertices),
+        per_phase_edges=per_phase,
+        superclustering_edges=by_step.get(SUPERCLUSTERING_STEP, 0),
+        interconnection_edges=by_step.get(INTERCONNECTION_STEP, 0),
+        density_ratio=result.num_edges / graph_edges if graph_edges else 1.0,
+    )
+
+
+def per_phase_interconnection_budget(result: SpannerResult) -> List[Dict[str, float]]:
+    """Per-phase interconnection accounting against the Lemma 2.12 budget.
+
+    For every phase ``i``, the number of interconnection *paths* must not
+    exceed ``|U_i| * deg_i`` (each unclustered cluster is non-popular, hence
+    connects to fewer than ``deg_i`` other clusters), and each path has at
+    most ``delta_i`` edges.
+    """
+    rows: List[Dict[str, float]] = []
+    for record in result.phase_records:
+        budget_paths = record.num_unclustered * record.degree_threshold
+        rows.append(
+            {
+                "phase": record.index,
+                "paths": record.interconnection_paths,
+                "path_budget": budget_paths,
+                "edges": record.interconnection_edges,
+                "edge_budget": budget_paths * record.delta,
+                "within_budget": float(
+                    record.interconnection_paths <= budget_paths
+                    and record.interconnection_edges <= budget_paths * record.delta
+                ),
+            }
+        )
+    return rows
+
+
+def compression_summary(result: SpannerResult) -> Dict[str, float]:
+    """How much sparser than the input the spanner is, plus the n^{1+1/kappa} scaling."""
+    n = max(2, result.num_vertices)
+    target_exponent = 1.0 + 1.0 / result.parameters.kappa
+    return {
+        "graph_edges": float(result.graph.num_edges),
+        "spanner_edges": float(result.num_edges),
+        "compression": (
+            result.num_edges / result.graph.num_edges if result.graph.num_edges else 1.0
+        ),
+        "normalized_size": result.num_edges / (n ** target_exponent),
+    }

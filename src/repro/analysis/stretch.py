@@ -1,0 +1,200 @@
+"""Stretch verification: does a candidate spanner satisfy its guarantee?
+
+Provides exact (all-pairs) and sampled-pairs verification, plus the bucketed
+"additive surplus vs. original distance" view that reproduces what the paper's
+Figure 7/8 argument is about: near-additive spanners distort *large* distances
+only by the ``1 + eps`` factor, with a fixed additive term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.parameters import StretchGuarantee
+from ..graphs.distances import INFINITY, sample_vertex_pairs, single_source_distances
+from ..graphs.graph import Graph
+
+
+@dataclass
+class PairStretch:
+    """Measured distances for a single vertex pair."""
+
+    u: int
+    v: int
+    graph_distance: float
+    spanner_distance: float
+
+    @property
+    def additive_surplus(self) -> float:
+        """``d_H(u, v) - d_G(u, v)``."""
+        return self.spanner_distance - self.graph_distance
+
+    @property
+    def multiplicative_ratio(self) -> float:
+        """``d_H(u, v) / d_G(u, v)`` (1.0 for zero-distance pairs)."""
+        if self.graph_distance == 0:
+            return 1.0
+        return self.spanner_distance / self.graph_distance
+
+
+@dataclass
+class StretchReport:
+    """Aggregate stretch statistics over a set of vertex pairs."""
+
+    pairs_checked: int
+    max_multiplicative: float
+    max_additive_surplus: float
+    mean_multiplicative: float
+    mean_additive_surplus: float
+    violations: List[PairStretch] = field(default_factory=list)
+    disconnected_mismatches: int = 0
+    surplus_by_distance: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def satisfies_guarantee(self) -> bool:
+        """Whether no checked pair violated the guarantee (and connectivity was preserved)."""
+        return not self.violations and self.disconnected_mismatches == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary."""
+        return {
+            "pairs_checked": self.pairs_checked,
+            "max_multiplicative": self.max_multiplicative,
+            "max_additive_surplus": self.max_additive_surplus,
+            "mean_multiplicative": self.mean_multiplicative,
+            "mean_additive_surplus": self.mean_additive_surplus,
+            "num_violations": len(self.violations),
+            "disconnected_mismatches": self.disconnected_mismatches,
+            "surplus_by_distance": dict(sorted(self.surplus_by_distance.items())),
+        }
+
+
+def _iter_pair_sources(
+    graph: Graph,
+    pairs: Optional[Sequence[Tuple[int, int]]],
+) -> Dict[int, List[int]]:
+    """Group the pairs to check by their first vertex (one BFS per source)."""
+    grouped: Dict[int, List[int]] = {}
+    if pairs is None:
+        for u in graph.vertices():
+            grouped[u] = [v for v in range(u + 1, graph.num_vertices)]
+    else:
+        for u, v in pairs:
+            grouped.setdefault(u, []).append(v)
+    return grouped
+
+
+def evaluate_stretch(
+    graph: Graph,
+    spanner: Graph,
+    guarantee: Optional[StretchGuarantee] = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    slack: float = 1e-9,
+) -> StretchReport:
+    """Measure the stretch of ``spanner`` relative to ``graph``.
+
+    ``pairs=None`` checks *all* pairs (quadratic; use on small graphs), else
+    only the given pairs.  When ``guarantee`` is supplied, every pair with
+    ``d_H > mult * d_G + add`` is recorded as a violation; pairs connected in
+    the graph but not in the spanner count as ``disconnected_mismatches``.
+    """
+    if graph.num_vertices != spanner.num_vertices:
+        raise ValueError("graph and spanner must have the same vertex set")
+
+    grouped = _iter_pair_sources(graph, pairs)
+    checked = 0
+    max_mult = 1.0
+    max_add = 0.0
+    sum_mult = 0.0
+    sum_add = 0.0
+    violations: List[PairStretch] = []
+    disconnected = 0
+    surplus_by_distance: Dict[int, float] = {}
+
+    for source in sorted(grouped.keys()):
+        targets = grouped[source]
+        if not targets:
+            continue
+        dist_graph = single_source_distances(graph, source)
+        dist_spanner = single_source_distances(spanner, source)
+        for v in targets:
+            dg = dist_graph[v]
+            dh = dist_spanner[v]
+            if dg == INFINITY:
+                if dh != INFINITY:
+                    # A spanner is a subgraph, so this cannot happen; flag it.
+                    disconnected += 1
+                continue
+            if dh == INFINITY:
+                disconnected += 1
+                continue
+            checked += 1
+            pair = PairStretch(source, v, dg, dh)
+            max_mult = max(max_mult, pair.multiplicative_ratio)
+            max_add = max(max_add, pair.additive_surplus)
+            sum_mult += pair.multiplicative_ratio
+            sum_add += pair.additive_surplus
+            bucket = int(dg)
+            surplus_by_distance[bucket] = max(
+                surplus_by_distance.get(bucket, 0.0), pair.additive_surplus
+            )
+            if guarantee is not None and not guarantee.allows(dg, dh, slack=slack):
+                violations.append(pair)
+
+    return StretchReport(
+        pairs_checked=checked,
+        max_multiplicative=max_mult,
+        max_additive_surplus=max_add,
+        mean_multiplicative=sum_mult / checked if checked else 1.0,
+        mean_additive_surplus=sum_add / checked if checked else 0.0,
+        violations=violations,
+        disconnected_mismatches=disconnected,
+        surplus_by_distance=surplus_by_distance,
+    )
+
+
+def evaluate_stretch_sampled(
+    graph: Graph,
+    spanner: Graph,
+    num_pairs: int = 500,
+    seed: int = 0,
+    guarantee: Optional[StretchGuarantee] = None,
+) -> StretchReport:
+    """Sampled-pairs variant of :func:`evaluate_stretch` for larger graphs."""
+    pairs = sample_vertex_pairs(graph.num_vertices, num_pairs, seed=seed)
+    return evaluate_stretch(graph, spanner, guarantee=guarantee, pairs=pairs)
+
+
+def best_additive_for_multiplicative(
+    report_pairs: Iterable[PairStretch], multiplicative: float
+) -> float:
+    """Smallest additive term ``b`` such that every pair satisfies ``d_H <= multiplicative * d_G + b``.
+
+    Useful for fitting an empirical ``(1 + eps, beta_measured)`` description of
+    a produced spanner (what Figure 7's experiment reports).
+    """
+    best = 0.0
+    for pair in report_pairs:
+        best = max(best, pair.spanner_distance - multiplicative * pair.graph_distance)
+    return max(0.0, best)
+
+
+def empirical_additive_term(
+    graph: Graph,
+    spanner: Graph,
+    multiplicative: float,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> float:
+    """Measure the empirical additive term at a fixed multiplicative slack."""
+    grouped = _iter_pair_sources(graph, pairs)
+    best = 0.0
+    for source in sorted(grouped.keys()):
+        dist_graph = single_source_distances(graph, source)
+        dist_spanner = single_source_distances(spanner, source)
+        for v in grouped[source]:
+            dg, dh = dist_graph[v], dist_spanner[v]
+            if dg == INFINITY or dh == INFINITY:
+                continue
+            best = max(best, dh - multiplicative * dg)
+    return max(0.0, best)

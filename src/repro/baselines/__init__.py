@@ -1,0 +1,17 @@
+"""Baseline spanner constructions the paper compares against."""
+
+from .base import BaselineResult
+from .baswana_sen import build_baswana_sen_spanner
+from .elkin05_surrogate import build_elkin05_surrogate_spanner
+from .elkin_neiman import build_elkin_neiman_spanner
+from .elkin_peleg import build_elkin_peleg_spanner
+from .greedy import build_greedy_spanner
+
+__all__ = [
+    "BaselineResult",
+    "build_baswana_sen_spanner",
+    "build_elkin05_surrogate_spanner",
+    "build_elkin_neiman_spanner",
+    "build_elkin_peleg_spanner",
+    "build_greedy_spanner",
+]

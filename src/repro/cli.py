@@ -1,0 +1,188 @@
+"""Command-line interface: build spanners and regenerate the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro build --family gnp --size 300 --epsilon 0.5 --kappa 3 --rho 0.34
+    python -m repro build --input graph.txt --engine distributed --output spanner.txt
+    python -m repro experiment table1
+    python -m repro experiment figure3 --json out.json
+    python -m repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
+
+Sub-commands:
+
+``build``
+    Build a spanner of a generated workload (``--family/--size/--seed``) or of
+    an edge-list file (``--input``), print the per-phase report and optionally
+    write the spanner as an edge list (``--output``).
+``experiment``
+    Run one of the named experiments (``table1``, ``table2``, ``figure1`` ...
+    ``figure8``, ``scaling``, ``ablation-epsilon``, ``ablation-rho``,
+    ``ablation-kappa``) and print its rendered record; ``--json`` saves it.
+``params``
+    Print every derived schedule of a parameter setting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis import evaluate_stretch_sampled, render_table, verify_run
+from .core import build_spanner, make_parameters
+from .experiments import (
+    ALL_FIGURES,
+    build_result,
+    default_parameters,
+    run_epsilon_ablation,
+    run_kappa_ablation,
+    run_rho_ablation,
+    run_scaling,
+    run_table1,
+    run_table2,
+)
+from .graphs import make_workload, read_edge_list, write_edge_list
+from .graphs.generators import WORKLOAD_FAMILIES, planted_partition_graph
+
+
+def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epsilon", type=float, default=0.5, help="stretch parameter epsilon")
+    parser.add_argument("--kappa", type=int, default=3, help="sparseness parameter kappa")
+    parser.add_argument("--rho", type=float, default=1.0 / 3.0, help="round-budget parameter rho")
+    parser.add_argument(
+        "--internal",
+        action="store_true",
+        help="interpret --epsilon as the paper's internal (pre-rescaling) epsilon",
+    )
+
+
+def _parameters_from_args(args: argparse.Namespace):
+    return make_parameters(args.epsilon, args.kappa, args.rho, epsilon_is_internal=args.internal)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.input:
+        graph = read_edge_list(args.input)
+        source = args.input
+    else:
+        graph = make_workload(args.family, args.size, seed=args.seed)
+        source = f"{args.family}(n~{args.size}, seed={args.seed})"
+    parameters = _parameters_from_args(args)
+    result = build_spanner(graph, parameters=parameters, engine=args.engine)
+    guarantee = parameters.stretch_bound()
+
+    print(f"graph: {source}: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"engine: {args.engine}; phases: {parameters.num_phases}")
+    print(f"guarantee: d_H <= {guarantee.multiplicative:.4g} * d_G + {guarantee.additive:.4g}")
+    print(f"spanner: {result.num_edges} edges; nominal CONGEST rounds: {result.nominal_rounds}")
+    rows = [record.to_dict() for record in result.phase_records]
+    columns = [
+        "index", "stage", "num_clusters", "num_popular", "ruling_set_size",
+        "num_superclustered", "num_unclustered", "superclustering_edges", "interconnection_edges",
+    ]
+    print(render_table(rows, columns=columns, title="per-phase statistics"))
+
+    if args.verify:
+        report = verify_run(result)
+        print(f"structural lemma checks: {'all passed' if report.all_passed else 'FAILURES'}")
+        for check in report.failures():
+            print(f"  FAIL {check.name}: {check.details}")
+        stretch = evaluate_stretch_sampled(graph, result.spanner, num_pairs=args.sample_pairs, guarantee=guarantee)
+        print(
+            f"sampled stretch ({stretch.pairs_checked} pairs): max multiplicative "
+            f"{stretch.max_multiplicative:.3g}, max additive {stretch.max_additive_surplus:.3g}, "
+            f"guarantee satisfied: {stretch.satisfies_guarantee}"
+        )
+        if not report.all_passed or not stretch.satisfies_guarantee:
+            return 1
+    if args.output:
+        write_edge_list(result.spanner, args.output)
+        print(f"spanner written to {args.output}")
+    return 0
+
+
+def _experiment_registry() -> Dict[str, Callable[[], object]]:
+    registry: Dict[str, Callable[[], object]] = {
+        "table1": lambda: run_table1(sizes=(80, 160, 320), sample_pairs=120),
+        "table2": lambda: run_table2(n=140, sample_pairs=150),
+        "scaling": lambda: run_scaling(sizes=(80, 160, 320, 640), sample_pairs=100),
+        "ablation-epsilon": lambda: run_epsilon_ablation(),
+        "ablation-rho": lambda: run_rho_ablation(),
+        "ablation-kappa": lambda: run_kappa_ablation(),
+    }
+
+    def make_figure_runner(figure_name: str) -> Callable[[], object]:
+        def runner():
+            graph = planted_partition_graph(10, 14, p_intra=0.5, p_inter=0.02, seed=13)
+            result = build_result(graph, default_parameters(), engine="centralized")
+            return ALL_FIGURES[figure_name](result)
+
+        return runner
+
+    for name in ALL_FIGURES:
+        registry[name] = make_figure_runner(name)
+    return registry
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.name not in registry:
+        print(f"unknown experiment {args.name!r}; choose from: {', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    record = registry[args.name]()
+    print(record.render())
+    if args.json:
+        record.save(args.json)
+        print(f"record saved to {args.json}")
+    return 0 if record.all_checks_passed else 1
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    parameters = _parameters_from_args(args)
+    info = parameters.describe(args.size)
+    print(json.dumps(info, indent=2, default=str))
+    return 0
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic near-additive spanners in the CONGEST model (Elkin-Matar, PODC 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build_parser = subparsers.add_parser("build", help="build a spanner and report on it")
+    build_parser.add_argument("--family", choices=sorted(WORKLOAD_FAMILIES), default="gnp")
+    build_parser.add_argument("--size", type=int, default=200, help="approximate vertex count")
+    build_parser.add_argument("--seed", type=int, default=0)
+    build_parser.add_argument("--input", type=str, default=None, help="edge-list file to read instead of generating")
+    build_parser.add_argument("--output", type=str, default=None, help="write the spanner as an edge list")
+    build_parser.add_argument("--engine", choices=["centralized", "distributed"], default="centralized")
+    build_parser.add_argument("--verify", action="store_true", help="run the structural lemma checks and sampled stretch")
+    build_parser.add_argument("--sample-pairs", type=int, default=300)
+    _add_parameter_arguments(build_parser)
+    build_parser.set_defaults(handler=_cmd_build)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run a paper table/figure experiment")
+    experiment_parser.add_argument("name", help="table1, table2, figure1..figure8, scaling, ablation-*")
+    experiment_parser.add_argument("--json", type=str, default=None, help="save the record as JSON")
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    params_parser = subparsers.add_parser("params", help="print the derived parameter schedules")
+    params_parser.add_argument("--size", type=int, default=None, help="evaluate n-dependent bounds at this n")
+    _add_parameter_arguments(params_parser)
+    params_parser.set_defaults(handler=_cmd_params)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through __main__
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Synchronous CONGEST-model simulator: nodes, messages, rounds, accounting."""
+
+from .errors import (
+    CongestError,
+    CongestionViolation,
+    InvalidDestination,
+    MessageTooLarge,
+    ProtocolError,
+    RoundLimitExceeded,
+)
+from .ledger import PhaseCharge, RoundLedger
+from .message import Message, count_words
+from .node import NodeContext, NodeProgram, StatefulNodeProgram, make_programs
+from .simulator import (
+    DEFAULT_BANDWIDTH_MESSAGES,
+    DEFAULT_MAX_WORDS_PER_MESSAGE,
+    ProtocolRun,
+    Simulator,
+)
+from .tracing import NullTracer, RecordingTracer, Tracer
+
+__all__ = [
+    "CongestError",
+    "CongestionViolation",
+    "DEFAULT_BANDWIDTH_MESSAGES",
+    "DEFAULT_MAX_WORDS_PER_MESSAGE",
+    "InvalidDestination",
+    "Message",
+    "MessageTooLarge",
+    "NodeContext",
+    "NodeProgram",
+    "NullTracer",
+    "PhaseCharge",
+    "ProtocolError",
+    "ProtocolRun",
+    "RecordingTracer",
+    "RoundLedger",
+    "RoundLimitExceeded",
+    "Simulator",
+    "StatefulNodeProgram",
+    "Tracer",
+    "count_words",
+    "make_programs",
+]

@@ -1,0 +1,57 @@
+"""Exceptions raised by the CONGEST simulator."""
+
+from __future__ import annotations
+
+
+class CongestError(Exception):
+    """Base class for all simulator errors."""
+
+
+class CongestionViolation(CongestError):
+    """A node attempted to send more than the per-edge bandwidth in one round.
+
+    In the CONGEST model each edge carries O(1) words per round; the simulator
+    enforces a configurable per-edge message budget and raises this error in
+    strict mode when a protocol exceeds it.
+    """
+
+    def __init__(self, round_index: int, sender: int, receiver: int, attempted: int, allowed: int) -> None:
+        self.round_index = round_index
+        self.sender = sender
+        self.receiver = receiver
+        self.attempted = attempted
+        self.allowed = allowed
+        super().__init__(
+            f"round {round_index}: node {sender} tried to send {attempted} messages to "
+            f"{receiver}, but the per-edge bandwidth is {allowed}"
+        )
+
+
+class MessageTooLarge(CongestError):
+    """A message exceeded the O(1)-word limit of the CONGEST model."""
+
+    def __init__(self, words: int, allowed: int) -> None:
+        self.words = words
+        self.allowed = allowed
+        super().__init__(f"message has {words} words, limit is {allowed}")
+
+
+class InvalidDestination(CongestError):
+    """A node attempted to send a message to a non-neighbour."""
+
+    def __init__(self, sender: int, receiver: int) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        super().__init__(f"node {sender} tried to send to {receiver}, which is not a neighbour")
+
+
+class ProtocolError(CongestError):
+    """A protocol was driven incorrectly (e.g. mismatched program count)."""
+
+
+class RoundLimitExceeded(CongestError):
+    """The simulation did not terminate within the allotted round budget."""
+
+    def __init__(self, max_rounds: int) -> None:
+        self.max_rounds = max_rounds
+        super().__init__(f"protocol did not terminate within {max_rounds} rounds")

@@ -1,0 +1,114 @@
+"""Round and message accounting for CONGEST protocols.
+
+The paper measures algorithms by their worst-case number of communication
+rounds.  Our simulator distinguishes two figures:
+
+* ``nominal_rounds`` -- the rounds the protocol *schedules* (e.g. Algorithm 1
+  of the paper always schedules ``deg_i * delta_i`` rounds for phase ``i``,
+  even if the network goes quiet earlier).  This is the quantity the paper's
+  theorems bound, and the one reported in Table 1.
+* ``simulated_rounds`` -- the rounds the simulator actually had to execute
+  (idle rounds are fast-forwarded).  This is a wall-clock optimization only.
+
+The ledger accumulates both, plus message/word counts and the maximum per-edge
+congestion observed, across all sub-protocols of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class PhaseCharge:
+    """Accounting entry for one sub-protocol (or one phase of the algorithm)."""
+
+    label: str
+    nominal_rounds: int
+    simulated_rounds: int
+    messages: int
+    words: int
+    max_edge_congestion: int
+
+
+@dataclass
+class RoundLedger:
+    """Accumulates the communication cost of a distributed execution."""
+
+    charges: List[PhaseCharge] = field(default_factory=list)
+
+    def charge(
+        self,
+        label: str,
+        nominal_rounds: int,
+        simulated_rounds: int = 0,
+        messages: int = 0,
+        words: int = 0,
+        max_edge_congestion: int = 0,
+    ) -> PhaseCharge:
+        """Record the cost of one sub-protocol and return the entry."""
+        if nominal_rounds < 0 or simulated_rounds < 0:
+            raise ValueError("round counts must be non-negative")
+        entry = PhaseCharge(
+            label=label,
+            nominal_rounds=int(nominal_rounds),
+            simulated_rounds=int(simulated_rounds),
+            messages=int(messages),
+            words=int(words),
+            max_edge_congestion=int(max_edge_congestion),
+        )
+        self.charges.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def nominal_rounds(self) -> int:
+        """Total scheduled rounds across all recorded sub-protocols."""
+        return sum(entry.nominal_rounds for entry in self.charges)
+
+    @property
+    def simulated_rounds(self) -> int:
+        """Total rounds the simulator actually executed."""
+        return sum(entry.simulated_rounds for entry in self.charges)
+
+    @property
+    def messages(self) -> int:
+        """Total messages delivered."""
+        return sum(entry.messages for entry in self.charges)
+
+    @property
+    def words(self) -> int:
+        """Total machine words delivered."""
+        return sum(entry.words for entry in self.charges)
+
+    @property
+    def max_edge_congestion(self) -> int:
+        """Worst per-edge per-round congestion observed anywhere in the run."""
+        if not self.charges:
+            return 0
+        return max(entry.max_edge_congestion for entry in self.charges)
+
+    def by_label(self) -> Dict[str, int]:
+        """Return nominal rounds aggregated by charge label."""
+        totals: Dict[str, int] = {}
+        for entry in self.charges:
+            totals[entry.label] = totals.get(entry.label, 0) + entry.nominal_rounds
+        return totals
+
+    def merge(self, other: "RoundLedger") -> None:
+        """Append all charges of ``other`` into this ledger."""
+        self.charges.extend(other.charges)
+
+    def summary(self) -> Dict[str, int]:
+        """Return a compact dictionary of totals (JSON-friendly)."""
+        return {
+            "nominal_rounds": self.nominal_rounds,
+            "simulated_rounds": self.simulated_rounds,
+            "messages": self.messages,
+            "words": self.words,
+            "max_edge_congestion": self.max_edge_congestion,
+            "num_charges": len(self.charges),
+        }

@@ -1,0 +1,59 @@
+"""Message representation for the CONGEST simulator.
+
+A CONGEST message carries O(1) machine words (IDs or small integers).  We
+model a message as a small tuple of ints/strings together with an explicit
+word count so protocols can be audited against the model's bandwidth limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+def count_words(content: Tuple[Any, ...]) -> int:
+    """Count the machine words occupied by a message payload.
+
+    Integers and short strings (tags) count as one word each; nested tuples
+    are counted recursively.  This is intentionally conservative: anything
+    unusual counts as one word per element.
+    """
+    words = 0
+    for item in content:
+        if isinstance(item, tuple):
+            words += count_words(item)
+        else:
+            words += 1
+    return words
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes
+    ----------
+    sender:
+        ID of the sending vertex.
+    content:
+        The payload: a tuple whose first element is conventionally a string
+        tag identifying the protocol step (e.g. ``("explore", center, dist)``).
+    words:
+        Number of machine words the payload occupies (computed automatically).
+    """
+
+    sender: int
+    content: Tuple[Any, ...]
+    words: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.words == 0:
+            object.__setattr__(self, "words", count_words(self.content))
+
+    @property
+    def tag(self) -> Any:
+        """The conventional first element of the payload."""
+        return self.content[0] if self.content else None
+
+    def __repr__(self) -> str:
+        return f"Message(from={self.sender}, content={self.content})"

@@ -1,0 +1,120 @@
+"""Node programs and their execution context.
+
+A distributed protocol is expressed as one :class:`NodeProgram` instance per
+vertex.  In every synchronous round the simulator calls ``on_round`` on every
+program, handing it the messages delivered this round; the program reacts by
+queueing messages for the next round through its :class:`NodeContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .errors import InvalidDestination, MessageTooLarge
+from .message import Message, count_words
+
+
+class NodeContext:
+    """Per-node, per-round view of the network handed to a :class:`NodeProgram`.
+
+    The context exposes the node's ID, its neighbour list, the current round
+    number and a ``send`` method.  It also accumulates the node's outbox; the
+    simulator drains the outbox at the end of the round.
+    """
+
+    __slots__ = ("node_id", "neighbors", "round_index", "_outbox", "_max_words")
+
+    def __init__(self, node_id: int, neighbors: Sequence[int], max_words_per_message: int) -> None:
+        self.node_id = node_id
+        self.neighbors = tuple(sorted(neighbors))
+        self.round_index = 0
+        self._outbox: List[Tuple[int, Message]] = []
+        self._max_words = max_words_per_message
+
+    def send(self, neighbor: int, *content: Any) -> None:
+        """Queue a message with payload ``content`` to ``neighbor`` for this round."""
+        if neighbor not in self.neighbors:
+            raise InvalidDestination(self.node_id, neighbor)
+        words = count_words(tuple(content))
+        if words > self._max_words:
+            raise MessageTooLarge(words, self._max_words)
+        self._outbox.append((neighbor, Message(self.node_id, tuple(content), words)))
+
+    def broadcast(self, *content: Any) -> None:
+        """Queue the same message to every neighbour."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, *content)
+
+    def drain_outbox(self) -> List[Tuple[int, Message]]:
+        """Return and clear the queued messages (used by the simulator)."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    @property
+    def pending_sends(self) -> int:
+        """Number of messages currently queued for this round."""
+        return len(self._outbox)
+
+
+class NodeProgram:
+    """Base class for per-vertex protocol code.
+
+    Subclasses override :meth:`on_start` (round 0 initialization, may already
+    send) and :meth:`on_round` (invoked each subsequent round with the
+    messages received).  A program signals local completion by returning
+    ``True`` from :meth:`is_idle`; the protocol as a whole terminates when
+    every node is idle and no messages are in flight.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Initialize state and optionally send round-0 messages."""
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        """Process messages delivered at the start of this round."""
+        raise NotImplementedError
+
+    def is_idle(self) -> bool:
+        """Return whether the node has nothing more to send spontaneously.
+
+        Idle nodes are still woken up when they receive messages; idleness
+        only matters for the global-quiescence termination test.
+        """
+        return True
+
+    def result(self) -> Any:
+        """Return this node's local output once the protocol has terminated."""
+        return None
+
+
+class StatefulNodeProgram(NodeProgram):
+    """Convenience base class carrying a shared per-vertex state dictionary.
+
+    The spanner algorithm runs many sub-protocols in sequence over the same
+    network; each sub-protocol reads and writes the persistent per-vertex
+    state (cluster membership, known centers, tree parents, ...) through this
+    class.
+    """
+
+    def __init__(self, node_id: int, state: Dict[str, Any]) -> None:
+        self.node_id = node_id
+        self.state = state
+
+    def result(self) -> Dict[str, Any]:
+        return self.state
+
+
+def make_programs(
+    num_vertices: int,
+    factory,
+    states: Optional[List[Dict[str, Any]]] = None,
+) -> List[NodeProgram]:
+    """Instantiate one program per vertex.
+
+    ``factory`` is called as ``factory(node_id)`` or ``factory(node_id, state)``
+    depending on whether per-vertex ``states`` are supplied.
+    """
+    if states is None:
+        return [factory(v) for v in range(num_vertices)]
+    if len(states) != num_vertices:
+        raise ValueError("states must have one entry per vertex")
+    return [factory(v, states[v]) for v in range(num_vertices)]

@@ -1,0 +1,204 @@
+"""Synchronous CONGEST-model simulator.
+
+The simulator executes a protocol (one :class:`~repro.congest.node.NodeProgram`
+per vertex) in synchronous rounds:
+
+1. every node's outbox from the previous round is delivered,
+2. per-edge bandwidth is audited (CONGEST: O(1) words per edge per round),
+3. every node that received messages -- or is not yet idle -- gets to run and
+   queue messages for the next round.
+
+Rounds in which no message is in flight and every node is idle terminate the
+protocol.  As a wall-clock optimization the simulator *fast-forwards* rounds
+in which nothing at all would happen; protocols report their scheduled
+("nominal") round counts separately through the ledger (see
+:mod:`repro.congest.ledger`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from .errors import CongestionViolation, ProtocolError, RoundLimitExceeded
+from .ledger import RoundLedger
+from .message import Message
+from .node import NodeContext, NodeProgram
+from .tracing import NullTracer, Tracer
+
+DEFAULT_MAX_WORDS_PER_MESSAGE = 4
+DEFAULT_BANDWIDTH_MESSAGES = 1
+
+
+@dataclass
+class ProtocolRun:
+    """Outcome of executing one protocol to quiescence."""
+
+    rounds_executed: int
+    messages_delivered: int
+    words_delivered: int
+    max_edge_congestion: int
+    results: List[Any]
+    congestion_violations: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+    @property
+    def violated_congestion(self) -> bool:
+        """Whether any per-edge bandwidth violation was observed (non-strict mode)."""
+        return bool(self.congestion_violations)
+
+
+class Simulator:
+    """Executes CONGEST protocols over a fixed communication graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.
+    bandwidth_messages:
+        Maximum number of messages a node may send over a single edge in one
+        round.  The CONGEST model allows O(1) words per round; the default of
+        one message of at most ``max_words_per_message`` words enforces that.
+    max_words_per_message:
+        Maximum payload size of a single message, in machine words.
+    strict_congestion:
+        When true (default), exceeding the per-edge bandwidth raises
+        :class:`CongestionViolation`; when false, violations are recorded in
+        the :class:`ProtocolRun` so tests can assert on them.
+    tracer:
+        Optional :class:`~repro.congest.tracing.Tracer` receiving round events.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth_messages: int = DEFAULT_BANDWIDTH_MESSAGES,
+        max_words_per_message: int = DEFAULT_MAX_WORDS_PER_MESSAGE,
+        strict_congestion: bool = True,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if bandwidth_messages < 1:
+            raise ValueError("bandwidth_messages must be >= 1")
+        self.graph = graph
+        self.bandwidth_messages = bandwidth_messages
+        self.max_words_per_message = max_words_per_message
+        self.strict_congestion = strict_congestion
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.ledger = RoundLedger()
+
+    # ------------------------------------------------------------------
+    # Protocol execution
+    # ------------------------------------------------------------------
+    def run_protocol(
+        self,
+        programs: Sequence[NodeProgram],
+        max_rounds: int = 10_000_000,
+        label: str = "protocol",
+        nominal_rounds: Optional[int] = None,
+    ) -> ProtocolRun:
+        """Run ``programs`` (one per vertex) to quiescence.
+
+        ``nominal_rounds`` is the scheduled round count the caller wants
+        charged to the ledger; when omitted, the executed round count is
+        charged.
+        """
+        n = self.graph.num_vertices
+        if len(programs) != n:
+            raise ProtocolError(f"expected {n} programs, got {len(programs)}")
+
+        contexts = [
+            NodeContext(v, self.graph.neighbors(v), self.max_words_per_message)
+            for v in range(n)
+        ]
+
+        # Round 0: on_start may queue messages.
+        for v in range(n):
+            contexts[v].round_index = 0
+            programs[v].on_start(contexts[v])
+
+        pending: Dict[int, List[Message]] = {}
+        rounds_executed = 0
+        messages_delivered = 0
+        words_delivered = 0
+        max_congestion = 0
+        violations: List[Tuple[int, int, int, int]] = []
+
+        # Collect round-0 sends.
+        pending, round_congestion, round_violations = self._collect_outboxes(
+            contexts, round_index=0
+        )
+        max_congestion = max(max_congestion, round_congestion)
+        violations.extend(round_violations)
+
+        round_index = 0
+        while pending or not all(p.is_idle() for p in programs):
+            if rounds_executed >= max_rounds:
+                raise RoundLimitExceeded(max_rounds)
+            round_index += 1
+            rounds_executed += 1
+            inboxes = pending
+            pending = {}
+            delivered_now = sum(len(msgs) for msgs in inboxes.values())
+            messages_delivered += delivered_now
+            words_delivered += sum(m.words for msgs in inboxes.values() for m in msgs)
+            self.tracer.on_round(round_index, delivered_now)
+
+            active = set(inboxes.keys())
+            active.update(v for v in range(n) if not programs[v].is_idle())
+            for v in sorted(active):
+                contexts[v].round_index = round_index
+                programs[v].on_round(contexts[v], inboxes.get(v, []))
+
+            new_pending, round_congestion, round_violations = self._collect_outboxes(
+                contexts, round_index
+            )
+            max_congestion = max(max_congestion, round_congestion)
+            violations.extend(round_violations)
+            pending = new_pending
+
+            if not pending and all(p.is_idle() for p in programs):
+                break
+
+        run = ProtocolRun(
+            rounds_executed=rounds_executed,
+            messages_delivered=messages_delivered,
+            words_delivered=words_delivered,
+            max_edge_congestion=max_congestion,
+            results=[p.result() for p in programs],
+            congestion_violations=violations,
+        )
+        self.ledger.charge(
+            label=label,
+            nominal_rounds=nominal_rounds if nominal_rounds is not None else rounds_executed,
+            simulated_rounds=rounds_executed,
+            messages=messages_delivered,
+            words=words_delivered,
+            max_edge_congestion=max_congestion,
+        )
+        return run
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _collect_outboxes(
+        self, contexts: List[NodeContext], round_index: int
+    ) -> Tuple[Dict[int, List[Message]], int, List[Tuple[int, int, int, int]]]:
+        """Drain every node's outbox, audit congestion, and build next inboxes."""
+        pending: Dict[int, List[Message]] = {}
+        per_edge: Dict[Tuple[int, int], int] = {}
+        violations: List[Tuple[int, int, int, int]] = []
+        max_congestion = 0
+        for ctx in contexts:
+            for neighbor, message in ctx.drain_outbox():
+                key = (ctx.node_id, neighbor)
+                per_edge[key] = per_edge.get(key, 0) + 1
+                pending.setdefault(neighbor, []).append(message)
+        for (sender, receiver), count in per_edge.items():
+            max_congestion = max(max_congestion, count)
+            if count > self.bandwidth_messages:
+                if self.strict_congestion:
+                    raise CongestionViolation(
+                        round_index, sender, receiver, count, self.bandwidth_messages
+                    )
+                violations.append((round_index, sender, receiver, count))
+        return pending, max_congestion, violations

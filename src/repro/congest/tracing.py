@@ -1,0 +1,52 @@
+"""Lightweight event tracing for simulator runs.
+
+Tracers are optional observers; the default :class:`NullTracer` does nothing.
+:class:`RecordingTracer` keeps per-round message counts, which several tests
+and the congestion-audit example use to inspect protocol behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class Tracer:
+    """Interface for simulator observers."""
+
+    def on_round(self, round_index: int, messages_delivered: int) -> None:
+        """Called once per executed round with the number of delivered messages."""
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """Tracer that ignores all events."""
+
+    def on_round(self, round_index: int, messages_delivered: int) -> None:
+        return None
+
+
+@dataclass
+class RecordingTracer(Tracer):
+    """Tracer that records ``(round, messages)`` pairs for later inspection."""
+
+    events: List[Tuple[int, int]] = field(default_factory=list)
+
+    def on_round(self, round_index: int, messages_delivered: int) -> None:
+        self.events.append((round_index, messages_delivered))
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages observed across all rounds."""
+        return sum(count for _, count in self.events)
+
+    @property
+    def rounds_seen(self) -> int:
+        """Number of executed rounds observed."""
+        return len(self.events)
+
+    def busiest_round(self) -> Tuple[int, int]:
+        """Return the ``(round, messages)`` pair with the most traffic."""
+        if not self.events:
+            return (0, 0)
+        return max(self.events, key=lambda item: item[1])

@@ -1,0 +1,69 @@
+"""Core contribution: the deterministic near-additive spanner construction."""
+
+from .certificate import (
+    INTERCONNECTION_STEP,
+    SUPERCLUSTERING_STEP,
+    EdgeProvenance,
+    SpannerCertificate,
+)
+from .clusters import Cluster, ClusterCollection, collections_partition_vertices
+from .centralized import build_spanner_centralized
+from .distributed import build_spanner_distributed
+from .interconnection import count_interconnection_paths, interconnection_requests
+from .oracle import SpannerDistanceOracle
+from .parameters import (
+    CONCLUDING_STAGE,
+    DEFAULT_PARAMETERS,
+    EXPONENTIAL_STAGE,
+    FIXED_STAGE,
+    SpannerParameters,
+    StretchGuarantee,
+    guarantee_from_schedules,
+)
+from .result import PhaseRecord, SpannerResult
+from .spanner import (
+    ENGINE_CENTRALIZED,
+    ENGINE_DISTRIBUTED,
+    build_spanner,
+    make_parameters,
+)
+from .superclustering import (
+    SuperclusteringOutcome,
+    build_superclusters,
+    deterministic_forest,
+    forest_path_edges,
+    spanned_center_roots,
+)
+
+__all__ = [
+    "CONCLUDING_STAGE",
+    "Cluster",
+    "ClusterCollection",
+    "DEFAULT_PARAMETERS",
+    "ENGINE_CENTRALIZED",
+    "ENGINE_DISTRIBUTED",
+    "EXPONENTIAL_STAGE",
+    "EdgeProvenance",
+    "FIXED_STAGE",
+    "INTERCONNECTION_STEP",
+    "PhaseRecord",
+    "SUPERCLUSTERING_STEP",
+    "SpannerCertificate",
+    "SpannerDistanceOracle",
+    "SpannerParameters",
+    "SpannerResult",
+    "StretchGuarantee",
+    "SuperclusteringOutcome",
+    "build_spanner",
+    "build_spanner_centralized",
+    "build_spanner_distributed",
+    "build_superclusters",
+    "collections_partition_vertices",
+    "count_interconnection_paths",
+    "deterministic_forest",
+    "forest_path_edges",
+    "guarantee_from_schedules",
+    "interconnection_requests",
+    "make_parameters",
+    "spanned_center_roots",
+]

@@ -1,0 +1,139 @@
+"""Centralized reference engine for the deterministic spanner construction.
+
+This engine executes *exactly* the same phase logic as the distributed engine
+(:mod:`repro.core.distributed`) -- the same popular-cluster detection, the
+same digit-by-digit ruling set, the same deterministic BFS forest and the same
+interconnection rule -- but with global knowledge instead of message passing.
+It is therefore fast enough to run on graphs with thousands of vertices and is
+used for cross-validating the distributed engine, for property-based testing
+and for the larger benchmark sweeps.
+
+The nominal CONGEST round counts recorded in the phase records are computed
+from the same formulas the distributed engine charges to its ledger, so both
+engines report comparable round figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..primitives.exploration import centralized_bounded_exploration
+from ..primitives.ruling_set import centralized_ruling_set
+from ..primitives.traceback import centralized_traceback
+from .certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
+from .clusters import ClusterCollection
+from .interconnection import count_interconnection_paths, interconnection_requests
+from .parameters import SpannerParameters
+from .result import PhaseRecord, SpannerResult
+from .superclustering import (
+    build_superclusters,
+    deterministic_forest,
+    forest_path_edges,
+    spanned_center_roots,
+)
+
+
+def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> SpannerResult:
+    """Run the full deterministic construction with the centralized engine."""
+    n = graph.num_vertices
+    spanner = Graph(n)
+    certificate = SpannerCertificate()
+    collection = ClusterCollection.singletons(n)
+    cluster_history: List[ClusterCollection] = [collection]
+    unclustered_history: List[ClusterCollection] = []
+    phase_records: List[PhaseRecord] = []
+    radius_bounds = parameters.radius_bounds()
+    c = parameters.domination_multiplier
+
+    for i in parameters.phases():
+        delta = parameters.delta(i)
+        degree = parameters.degree_threshold(i, n)
+        centers = collection.centers()
+        nominal_rounds = 0
+
+        exploration = centralized_bounded_exploration(graph, centers, delta, degree)
+        nominal_rounds += exploration.nominal_rounds
+        popular = exploration.popular
+
+        ruling_set: Set[int] = set()
+        spanned_centers: List[int] = []
+        superclustering_edges = 0
+        if i < parameters.ell:
+            if popular:
+                rs_result = centralized_ruling_set(
+                    graph, popular, q=parameters.ruling_set_q(i), c=c
+                )
+                ruling_set = rs_result.ruling_set
+                nominal_rounds += rs_result.nominal_rounds
+                root, _dist, parent = deterministic_forest(
+                    graph, ruling_set, parameters.superclustering_depth(i)
+                )
+                center_root = spanned_center_roots(centers, root)
+                spanned_centers = sorted(center_root)
+                forest_edges = forest_path_edges(parent, spanned_centers)
+                superclustering_edges = certificate.record(
+                    forest_edges, i, SUPERCLUSTERING_STEP
+                )
+                spanner.add_edges(forest_edges)
+                next_collection, unclustered = build_superclusters(collection, center_root)
+            else:
+                next_collection = ClusterCollection()
+                unclustered = collection
+            nominal_rounds += 2 * parameters.superclustering_depth(i)
+        else:
+            # Concluding phase: the superclustering step is skipped entirely.
+            next_collection = ClusterCollection()
+            unclustered = collection
+
+        requests = interconnection_requests(unclustered.centers(), exploration)
+        interconnection_edges_set = centralized_traceback(exploration, requests)
+        interconnection_edges = certificate.record(
+            interconnection_edges_set, i, INTERCONNECTION_STEP
+        )
+        spanner.add_edges(interconnection_edges_set)
+        nominal_rounds += degree * delta
+
+        phase_records.append(
+            PhaseRecord(
+                index=i,
+                stage=parameters.stage(i),
+                delta=delta,
+                degree_threshold=degree,
+                num_clusters=len(collection),
+                num_popular=len(popular),
+                ruling_set_size=len(ruling_set),
+                num_superclustered=len(spanned_centers),
+                num_unclustered=len(unclustered),
+                superclustering_edges=superclustering_edges,
+                interconnection_edges=interconnection_edges,
+                interconnection_paths=count_interconnection_paths(requests),
+                radius_bound=radius_bounds[i],
+                nominal_rounds=nominal_rounds,
+                simulated_rounds=0,
+                popular_centers=sorted(popular),
+                ruling_set=sorted(ruling_set),
+                superclustered_centers=list(spanned_centers),
+                interconnection_pairs=[
+                    (center, target)
+                    for center, targets in sorted(requests.items())
+                    for target in targets
+                ],
+            )
+        )
+        unclustered_history.append(unclustered)
+        if i < parameters.ell:
+            cluster_history.append(next_collection)
+            collection = next_collection
+
+    return SpannerResult(
+        graph=graph,
+        spanner=spanner,
+        parameters=parameters,
+        engine="centralized",
+        phase_records=phase_records,
+        cluster_history=cluster_history,
+        unclustered_history=unclustered_history,
+        certificate=certificate,
+        ledger=None,
+    )

@@ -1,0 +1,81 @@
+"""Provenance certificates: which phase and step added each spanner edge.
+
+Besides being useful for debugging, the certificate is what the figure
+experiments consume: Figure 2/4 count superclustering edges per phase,
+Figure 5 counts interconnection edges per phase, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..graphs.graph import normalize_edge
+
+SUPERCLUSTERING_STEP = "superclustering"
+INTERCONNECTION_STEP = "interconnection"
+
+
+@dataclass(frozen=True)
+class EdgeProvenance:
+    """Where an edge entered the spanner: phase index and step name."""
+
+    phase: int
+    step: str
+
+
+@dataclass
+class SpannerCertificate:
+    """Records, for every spanner edge, the first (phase, step) that added it."""
+
+    provenance: Dict[Tuple[int, int], EdgeProvenance] = field(default_factory=dict)
+
+    def record(self, edges: Iterable[Tuple[int, int]], phase: int, step: str) -> int:
+        """Record ``edges`` as added by ``(phase, step)``; returns how many were new."""
+        if step not in (SUPERCLUSTERING_STEP, INTERCONNECTION_STEP):
+            raise ValueError(f"unknown step {step!r}")
+        new_edges = 0
+        for u, v in edges:
+            key = normalize_edge(u, v)
+            if key not in self.provenance:
+                self.provenance[key] = EdgeProvenance(phase=phase, step=step)
+                new_edges += 1
+        return new_edges
+
+    def __len__(self) -> int:
+        return len(self.provenance)
+
+    def __contains__(self, edge: Tuple[int, int]) -> bool:
+        return normalize_edge(*edge) in self.provenance
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All recorded edges, sorted."""
+        return sorted(self.provenance.keys())
+
+    def edges_for_phase(self, phase: int) -> List[Tuple[int, int]]:
+        """Edges first added in ``phase``."""
+        return sorted(
+            edge for edge, origin in self.provenance.items() if origin.phase == phase
+        )
+
+    def edges_for_step(self, step: str) -> List[Tuple[int, int]]:
+        """Edges first added by the given step (across all phases)."""
+        return sorted(
+            edge for edge, origin in self.provenance.items() if origin.step == step
+        )
+
+    def count_by_phase_and_step(self) -> Dict[Tuple[int, str], int]:
+        """``{(phase, step): number of edges first added there}``."""
+        counts: Dict[Tuple[int, str], int] = {}
+        for origin in self.provenance.values():
+            key = (origin.phase, origin.step)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, int]:
+        """Totals per step, plus the overall edge count."""
+        by_step: Dict[str, int] = {SUPERCLUSTERING_STEP: 0, INTERCONNECTION_STEP: 0}
+        for origin in self.provenance.values():
+            by_step[origin.step] = by_step.get(origin.step, 0) + 1
+        by_step["total"] = len(self.provenance)
+        return by_step

@@ -1,0 +1,37 @@
+"""Engine-agnostic helpers for the interconnection step (paper Section 2.3).
+
+In phase ``i`` every cluster ``C`` of ``U_i`` (clusters that were not
+superclustered) is connected to *all* clusters of ``P_i`` whose centers lie
+within ``delta_i`` of ``r_C`` -- the center already knows exactly which those
+are (Theorem 2.1), so the step only traces the corresponding shortest paths
+back and adds their edges to the spanner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..primitives.exploration import ExplorationResult
+
+
+def interconnection_requests(
+    unclustered_centers: Iterable[int],
+    exploration: ExplorationResult,
+) -> Dict[int, List[int]]:
+    """Build the trace-back request map for the interconnection step.
+
+    For every center ``r_C`` of an unclustered cluster, the targets are all
+    centers it learned about during Algorithm 1 (excluding itself).  Because
+    unclustered clusters are never popular (Lemma 2.4), Theorem 2.1 guarantees
+    this is exactly the set of centers within ``delta_i``.
+    """
+    requests: Dict[int, List[int]] = {}
+    for center in unclustered_centers:
+        targets = [c for c in exploration.known[center] if c != center]
+        requests[center] = sorted(targets)
+    return requests
+
+
+def count_interconnection_paths(requests: Dict[int, List[int]]) -> int:
+    """Total number of center-to-center paths the step will add."""
+    return sum(len(targets) for targets in requests.values())

@@ -1,0 +1,128 @@
+"""Engine-agnostic helpers for the superclustering step (paper Section 2.2).
+
+The superclustering step of phase ``i``:
+
+1. detect the popular cluster centers ``W_i`` (Algorithm 1);
+2. compute a ``(2 delta_i + 1, c * 2 delta_i)``-ruling set ``RS_i`` for ``W_i``;
+3. grow a BFS forest ``F_i`` of depth ``c * 2 delta_i`` rooted at ``RS_i``;
+4. every cluster whose center is spanned by ``F_i`` is merged into the
+   supercluster of its tree's root, and the forest path from the root to that
+   center is added to the spanner.
+
+This module provides the cluster bookkeeping shared by the centralized and
+distributed engines, plus a centralized forest construction that uses exactly
+the same deterministic tie-breaking as the distributed protocol so both
+engines agree on the forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..graphs.bfs import multi_source_bfs
+from ..graphs.graph import Graph, normalize_edge
+from .clusters import Cluster, ClusterCollection
+
+
+@dataclass
+class SuperclusteringOutcome:
+    """What the superclustering step of one phase produced."""
+
+    next_collection: ClusterCollection
+    unclustered: ClusterCollection
+    spanned_centers: List[int]
+    forest_edges: Set[Tuple[int, int]]
+    ruling_set: Set[int]
+
+
+def deterministic_forest(
+    graph: Graph, sources: Iterable[int], depth: int
+) -> Tuple[List[Optional[int]], List[Optional[int]], List[Optional[int]]]:
+    """Depth-bounded multi-source BFS forest with the distributed tie-breaking.
+
+    Returns ``(root, dist, parent)`` lists.  A vertex at distance ``d`` adopts
+    the lexicographically smallest ``(root, parent)`` among its neighbours at
+    distance ``d - 1`` -- exactly the rule of the distributed protocol in
+    :mod:`repro.primitives.bfs_forest`, so the two produce identical forests.
+    """
+    n = graph.num_vertices
+    source_list = sorted(set(sources))
+    reach = multi_source_bfs(graph, source_list, max_depth=depth)
+    root: List[Optional[int]] = [None] * n
+    dist: List[Optional[int]] = [None] * n
+    parent: List[Optional[int]] = [None] * n
+    for s in source_list:
+        root[s] = s
+        dist[s] = 0
+
+    by_distance: Dict[int, List[int]] = {}
+    for v in range(n):
+        d = reach.dist[v]
+        if d is not None and d > 0:
+            by_distance.setdefault(d, []).append(v)
+
+    for d in sorted(by_distance.keys()):
+        for v in by_distance[d]:
+            best: Optional[Tuple[int, int]] = None
+            for u in graph.neighbors(v):
+                if dist[u] == d - 1 and root[u] is not None:
+                    candidate = (root[u], u)
+                    if best is None or candidate < best:
+                        best = candidate
+            if best is None:
+                continue
+            root[v], parent[v] = best
+            dist[v] = d
+    return root, dist, parent
+
+
+def forest_path_edges(
+    parent: List[Optional[int]], targets: Iterable[int]
+) -> Set[Tuple[int, int]]:
+    """Union of the forest paths from each target up to its root."""
+    edges: Set[Tuple[int, int]] = set()
+    for target in targets:
+        current = target
+        while parent[current] is not None:
+            edges.add(normalize_edge(current, parent[current]))
+            current = parent[current]
+    return edges
+
+
+def build_superclusters(
+    collection: ClusterCollection,
+    center_root: Dict[int, int],
+) -> Tuple[ClusterCollection, ClusterCollection]:
+    """Split ``P_i`` into the new superclusters ``P_{i+1}`` and the leftovers ``U_i``.
+
+    ``center_root`` maps every *spanned* cluster center to the root of its
+    forest tree; the new supercluster centered at a root is the union of the
+    vertex sets of all its spanned constituent clusters (the forest path
+    itself is **not** part of the cluster -- it only enters the spanner).
+    """
+    clusters_by_root: Dict[int, List[Cluster]] = {}
+    unclustered = ClusterCollection()
+    for cluster in collection:
+        root = center_root.get(cluster.center)
+        if root is None:
+            unclustered.add(cluster)
+        else:
+            clusters_by_root.setdefault(root, []).append(cluster)
+    next_collection = ClusterCollection()
+    for root in sorted(clusters_by_root.keys()):
+        next_collection.add(Cluster.merge(root, clusters_by_root[root]))
+    return next_collection, unclustered
+
+
+def spanned_center_roots(
+    centers: Iterable[int],
+    root: List[Optional[int]],
+) -> Dict[int, int]:
+    """Restrict a forest's root assignment to the cluster centers it spans."""
+    assignment: Dict[int, int] = {}
+    for center in centers:
+        r = root[center]
+        if r is not None:
+            assignment[center] = r
+    return assignment

@@ -1,0 +1,58 @@
+"""Experiment harness: one module per paper table/figure plus shared machinery."""
+
+from .ablation import (
+    run_all_ablations,
+    run_epsilon_ablation,
+    run_kappa_ablation,
+    run_rho_ablation,
+)
+from .figures import (
+    ALL_FIGURES,
+    build_result,
+    figure1_superclustering,
+    figure2_bfs_trees,
+    figure3_ruling_set,
+    figure4_forest_paths,
+    figure5_interconnection,
+    figure6_cluster_hop,
+    figure7_stretch_decomposition,
+    figure8_segment_argument,
+    run_all_figures,
+)
+from .results import ExperimentRecord, save_records
+from .runner import Measurement, fit_power_law, measure_baseline, measure_deterministic
+from .scaling import run_scaling
+from .table1 import run_table1
+from .table2 import run_table2
+from .workloads import default_parameters, experiment_workloads, scaling_graphs, scaling_sizes
+
+__all__ = [
+    "ALL_FIGURES",
+    "ExperimentRecord",
+    "Measurement",
+    "build_result",
+    "default_parameters",
+    "experiment_workloads",
+    "figure1_superclustering",
+    "figure2_bfs_trees",
+    "figure3_ruling_set",
+    "figure4_forest_paths",
+    "figure5_interconnection",
+    "figure6_cluster_hop",
+    "figure7_stretch_decomposition",
+    "figure8_segment_argument",
+    "fit_power_law",
+    "measure_baseline",
+    "measure_deterministic",
+    "run_all_ablations",
+    "run_all_figures",
+    "run_epsilon_ablation",
+    "run_kappa_ablation",
+    "run_rho_ablation",
+    "run_scaling",
+    "run_table1",
+    "run_table2",
+    "save_records",
+    "scaling_graphs",
+    "scaling_sizes",
+]

@@ -1,0 +1,150 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Three ablations, all on the same workload:
+
+* **epsilon sweep** -- the internal epsilon trades the additive term ``beta``
+  against the multiplicative slack and the spanner size (paper eq. (17));
+* **rho sweep** -- a larger ``rho`` shrinks the round budget's ``n^rho``
+  factor but inflates ``beta`` through the ``1/rho`` exponent;
+* **kappa sweep** -- a larger ``kappa`` sparsifies the spanner
+  (``n^{1+1/kappa}``) at the cost of more phases and a larger ``beta``.
+
+These are not paper artifacts; they document how the implementation responds
+to its parameters and guard against regressions in the schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.parameters import SpannerParameters
+from ..graphs.generators import planted_partition_graph
+from ..graphs.graph import Graph
+from .results import ExperimentRecord
+from .runner import measure_deterministic
+
+
+def _default_graph(seed: int = 3) -> Graph:
+    return planted_partition_graph(8, 12, p_intra=0.5, p_inter=0.02, seed=seed)
+
+
+def run_epsilon_ablation(
+    epsilons: Sequence[float] = (0.1, 0.25, 0.5, 0.9),
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    graph: Optional[Graph] = None,
+    sample_pairs: int = 150,
+) -> ExperimentRecord:
+    """Sweep the internal epsilon and record guarantee / size / rounds."""
+    graph = graph if graph is not None else _default_graph()
+    record = ExperimentRecord(
+        name="ablation-epsilon",
+        description="Effect of the internal epsilon on beta, spanner size and rounds.",
+        parameters={"kappa": kappa, "rho": rho, "n": graph.num_vertices},
+    )
+    betas: List[float] = []
+    multiplicatives: List[float] = []
+    for epsilon in epsilons:
+        parameters = SpannerParameters.from_internal_epsilon(epsilon, kappa, rho)
+        measurement, _ = measure_deterministic(
+            graph, parameters, graph_name="ablation", sample_pairs=sample_pairs
+        )
+        guarantee = parameters.stretch_bound()
+        betas.append(guarantee.additive)
+        multiplicatives.append(guarantee.multiplicative)
+        row = measurement.to_row()
+        row["epsilon"] = epsilon
+        row["beta"] = guarantee.additive
+        record.rows.append(row)
+    record.series["epsilon"] = [float(e) for e in epsilons]
+    record.series["beta"] = betas
+    record.series["multiplicative"] = multiplicatives
+    record.checks["beta-decreases-as-epsilon-grows"] = all(
+        a >= b for a, b in zip(betas, betas[1:])
+    )
+    record.checks["multiplicative-grows-with-epsilon"] = all(
+        a <= b + 1e-9 for a, b in zip(multiplicatives, multiplicatives[1:])
+    )
+    record.checks["all-guarantees-hold"] = all(bool(row["guarantee_ok"]) for row in record.rows)
+    return record
+
+
+def run_rho_ablation(
+    rhos: Sequence[float] = (1.0 / 3.0, 0.4, 0.5),
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    graph: Optional[Graph] = None,
+    sample_pairs: int = 150,
+) -> ExperimentRecord:
+    """Sweep rho and record the round budget / beta trade-off."""
+    graph = graph if graph is not None else _default_graph(seed=5)
+    record = ExperimentRecord(
+        name="ablation-rho",
+        description="Effect of rho on the theoretical round bound and the additive term.",
+        parameters={"kappa": kappa, "epsilon": epsilon, "n": graph.num_vertices},
+    )
+    round_bounds: List[float] = []
+    for rho in rhos:
+        parameters = SpannerParameters.from_internal_epsilon(epsilon, kappa, rho)
+        measurement, _ = measure_deterministic(
+            graph, parameters, graph_name="ablation", sample_pairs=sample_pairs
+        )
+        row = measurement.to_row()
+        row["rho"] = rho
+        row["round_bound"] = parameters.round_bound(graph.num_vertices)
+        row["num_phases"] = parameters.num_phases
+        round_bounds.append(float(row["rounds"] or 0))
+        record.rows.append(row)
+    record.series["rho"] = [float(r) for r in rhos]
+    record.series["rounds"] = round_bounds
+    record.checks["all-guarantees-hold"] = all(bool(row["guarantee_ok"]) for row in record.rows)
+    record.checks["phase-count-never-increases-with-rho"] = all(
+        a >= b for a, b in zip(
+            [row["num_phases"] for row in record.rows],
+            [row["num_phases"] for row in record.rows][1:],
+        )
+    )
+    return record
+
+
+def run_kappa_ablation(
+    kappas: Sequence[int] = (2, 3, 4),
+    epsilon: float = 0.25,
+    graph: Optional[Graph] = None,
+    sample_pairs: int = 150,
+) -> ExperimentRecord:
+    """Sweep kappa (with rho = 1/2 so every kappa is admissible) and record sparsity."""
+    graph = graph if graph is not None else _default_graph(seed=7)
+    record = ExperimentRecord(
+        name="ablation-kappa",
+        description="Effect of kappa on spanner sparsity and phase count.",
+        parameters={"epsilon": epsilon, "rho": 0.5, "n": graph.num_vertices},
+    )
+    sizes: List[float] = []
+    for kappa in kappas:
+        parameters = SpannerParameters.from_internal_epsilon(epsilon, kappa, 0.5)
+        measurement, _ = measure_deterministic(
+            graph, parameters, graph_name="ablation", sample_pairs=sample_pairs
+        )
+        row = measurement.to_row()
+        row["kappa"] = kappa
+        row["num_phases"] = parameters.num_phases
+        row["size_exponent_target"] = 1.0 + 1.0 / kappa
+        sizes.append(float(row["spanner_edges"]))
+        record.rows.append(row)
+    record.series["kappa"] = [float(k) for k in kappas]
+    record.series["spanner-edges"] = sizes
+    record.checks["all-guarantees-hold"] = all(bool(row["guarantee_ok"]) for row in record.rows)
+    record.checks["spanners-never-larger-than-input"] = all(
+        s <= graph.num_edges for s in sizes
+    )
+    return record
+
+
+def run_all_ablations(graph: Optional[Graph] = None) -> Dict[str, ExperimentRecord]:
+    """Run the three ablations (optionally on a shared graph)."""
+    return {
+        "epsilon": run_epsilon_ablation(graph=graph),
+        "rho": run_rho_ablation(graph=graph),
+        "kappa": run_kappa_ablation(graph=graph),
+    }

@@ -1,0 +1,111 @@
+"""Experiment result records and their (de)serialization.
+
+Every table/figure experiment produces an :class:`ExperimentRecord`: a named
+bundle of tabular rows, numeric series and pass/fail shape checks that can be
+rendered as text (what the benchmarks print) or saved to JSON (what
+EXPERIMENTS.md references).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..analysis.reporting import render_series, render_table
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ExperimentRecord:
+    """Outcome of one experiment (one paper table or figure)."""
+
+    name: str
+    description: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def all_checks_passed(self) -> bool:
+        """Whether every recorded shape check passed."""
+        return all(self.checks.values()) if self.checks else True
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self, max_rows: Optional[int] = None) -> str:
+        """Render the record as plain text (used by the benchmark harness)."""
+        lines = [f"== {self.name} ==", self.description]
+        if self.parameters:
+            lines.append(
+                "parameters: " + ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+            )
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        if rows:
+            # Rows produced by different parts of an experiment (e.g. theory
+            # vs. measured) may have different columns; render each column
+            # layout as its own table so nothing shows up blank.
+            groups: List[List[Dict[str, object]]] = []
+            for row in rows:
+                if groups and tuple(groups[-1][0].keys()) == tuple(row.keys()):
+                    groups[-1].append(row)
+                else:
+                    groups.append([row])
+            for group in groups:
+                lines.append(render_table(group))
+        if self.series:
+            lines.append(render_series(self.series))
+        if self.checks:
+            lines.append(
+                "checks: "
+                + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in sorted(self.checks.items()))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "parameters": self.parameters,
+            "rows": self.rows,
+            "series": self.series,
+            "checks": self.checks,
+            "notes": self.notes,
+        }
+
+    def save(self, path: PathLike) -> None:
+        """Write the record as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, default=str), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ExperimentRecord":
+        """Read a record previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            name=data["name"],
+            description=data["description"],
+            parameters=data.get("parameters", {}),
+            rows=data.get("rows", []),
+            series={k: list(v) for k, v in data.get("series", {}).items()},
+            checks={k: bool(v) for k, v in data.get("checks", {}).items()},
+            notes=list(data.get("notes", [])),
+        )
+
+
+def save_records(records: Sequence[ExperimentRecord], directory: PathLike) -> List[Path]:
+    """Save several records into a directory; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for record in records:
+        path = directory / f"{record.name}.json"
+        record.save(path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,155 @@
+"""Experiment runner: single-run measurement and parameter sweeps.
+
+This is the shared machinery under the per-table/per-figure experiment
+modules: build a spanner (with the requested engine or baseline), verify its
+guarantee on sampled pairs, and collect the measurements that populate the
+experiment rows.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.stretch import evaluate_stretch, evaluate_stretch_sampled
+from ..baselines.base import BaselineResult
+from ..core.parameters import SpannerParameters
+from ..core.result import SpannerResult
+from ..core.spanner import build_spanner
+from ..graphs.graph import Graph
+
+
+@dataclass
+class Measurement:
+    """One (algorithm, graph) measurement row."""
+
+    algorithm: str
+    graph_name: str
+    num_vertices: int
+    num_graph_edges: int
+    num_spanner_edges: int
+    nominal_rounds: Optional[int]
+    multiplicative_bound: Optional[float]
+    additive_bound: Optional[float]
+    measured_max_multiplicative: float
+    measured_max_additive: float
+    guarantee_satisfied: bool
+    wall_seconds: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a table row."""
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "n": self.num_vertices,
+            "m": self.num_graph_edges,
+            "spanner_edges": self.num_spanner_edges,
+            "rounds": self.nominal_rounds,
+            "mult_bound": self.multiplicative_bound,
+            "add_bound": self.additive_bound,
+            "measured_max_mult": self.measured_max_multiplicative,
+            "measured_max_add": self.measured_max_additive,
+            "guarantee_ok": self.guarantee_satisfied,
+            "seconds": round(self.wall_seconds, 4),
+        }
+        row.update(self.extra)
+        return row
+
+
+def measure_deterministic(
+    graph: Graph,
+    parameters: SpannerParameters,
+    graph_name: str = "graph",
+    engine: str = "centralized",
+    sample_pairs: int = 400,
+    seed: int = 0,
+) -> Tuple[Measurement, SpannerResult]:
+    """Run the paper's deterministic algorithm and measure it."""
+    start = time.perf_counter()
+    result = build_spanner(graph, parameters=parameters, engine=engine)
+    elapsed = time.perf_counter() - start
+    guarantee = parameters.stretch_bound()
+    stretch = _stretch_for(graph, result.spanner, sample_pairs, seed, guarantee)
+    measurement = Measurement(
+        algorithm=f"new-deterministic ({engine})",
+        graph_name=graph_name,
+        num_vertices=graph.num_vertices,
+        num_graph_edges=graph.num_edges,
+        num_spanner_edges=result.num_edges,
+        nominal_rounds=result.nominal_rounds,
+        multiplicative_bound=guarantee.multiplicative,
+        additive_bound=guarantee.additive,
+        measured_max_multiplicative=stretch.max_multiplicative,
+        measured_max_additive=stretch.max_additive_surplus,
+        guarantee_satisfied=stretch.satisfies_guarantee,
+        wall_seconds=elapsed,
+        extra={
+            "superclustering_edges": result.edges_by_step().get("superclustering", 0),
+            "interconnection_edges": result.edges_by_step().get("interconnection", 0),
+        },
+    )
+    return measurement, result
+
+
+def measure_baseline(
+    graph: Graph,
+    builder: Callable[[], BaselineResult],
+    graph_name: str = "graph",
+    sample_pairs: int = 400,
+    seed: int = 0,
+) -> Tuple[Measurement, BaselineResult]:
+    """Run a baseline construction and measure it."""
+    start = time.perf_counter()
+    baseline = builder()
+    elapsed = time.perf_counter() - start
+    try:
+        guarantee = baseline.effective_guarantee()
+    except ValueError:
+        guarantee = None
+    stretch = _stretch_for(graph, baseline.spanner, sample_pairs, seed, guarantee)
+    measurement = Measurement(
+        algorithm=baseline.name,
+        graph_name=graph_name,
+        num_vertices=graph.num_vertices,
+        num_graph_edges=graph.num_edges,
+        num_spanner_edges=baseline.num_edges,
+        nominal_rounds=baseline.nominal_rounds,
+        multiplicative_bound=guarantee.multiplicative if guarantee else None,
+        additive_bound=guarantee.additive if guarantee else None,
+        measured_max_multiplicative=stretch.max_multiplicative,
+        measured_max_additive=stretch.max_additive_surplus,
+        guarantee_satisfied=stretch.satisfies_guarantee,
+        wall_seconds=elapsed,
+    )
+    return measurement, baseline
+
+
+def _stretch_for(graph, spanner, sample_pairs, seed, guarantee):
+    if sample_pairs <= 0 or graph.num_vertices <= 60:
+        return evaluate_stretch(graph, spanner, guarantee=guarantee)
+    return evaluate_stretch_sampled(
+        graph, spanner, num_pairs=sample_pairs, seed=seed, guarantee=guarantee
+    )
+
+
+def fit_power_law(sizes: Sequence[int], values: Sequence[float]) -> float:
+    """Least-squares slope of ``log(value)`` against ``log(size)``.
+
+    Used by the scaling experiments to estimate growth exponents: measured
+    rounds ~ ``n^exponent``, measured size ~ ``n^exponent``.
+    """
+    points = [
+        (math.log(s), math.log(v))
+        for s, v in zip(sizes, values)
+        if s > 0 and v is not None and v > 0
+    ]
+    if len(points) < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    return numerator / denominator if denominator else 0.0

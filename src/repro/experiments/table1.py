@@ -1,0 +1,182 @@
+"""Experiment T1 -- reproduce Table 1 of the paper.
+
+Table 1 compares the only two deterministic CONGEST-model algorithms for
+near-additive spanners: [Elk05] and the paper's new algorithm, along three
+axes -- stretch ``(1 + eps, beta)``, spanner size and running time.
+
+The reproduction has two parts:
+
+1. **Theoretical rows** -- the published formulas evaluated numerically
+   (``repro.analysis.bounds.table1_rows``), plus a ``kappa`` sweep of the two
+   additive terms showing that the new algorithm's ``beta`` eventually drops
+   below [Elk05]'s ``beta_E`` as ``kappa`` grows (the paper's "same ballpark
+   as [EN17], much better than [Elk05]" claim).
+2. **Measured rows** -- the new algorithm and the Elkin'05-style sequential
+   surrogate (DESIGN.md substitution 3) run on the same graphs over an ``n``
+   sweep.  The shape to reproduce is the running-time gap: the new
+   algorithm's nominal round count grows like ``n^rho`` (sublinear), while
+   the surrogate's grows superlinearly in ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.bounds import beta_elkin05, beta_new, table1_rows
+from ..baselines.elkin05_surrogate import build_elkin05_surrogate_spanner
+from ..core.parameters import SpannerParameters
+from ..graphs.generators import make_workload
+from .results import ExperimentRecord
+from .runner import fit_power_law, measure_baseline, measure_deterministic
+from .workloads import default_parameters
+
+
+def run_table1(
+    sizes: Sequence[int] = (100, 200, 400),
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    family: str = "gnp",
+    edge_probability: Optional[float] = 0.15,
+    seed: int = 11,
+    sample_pairs: int = 200,
+) -> ExperimentRecord:
+    """Regenerate Table 1 (theory + measured deterministic-CONGEST comparison).
+
+    The measured sweep defaults to moderately dense ``G(n, p)`` graphs
+    (constant ``p``): there a constant fraction of the clusters is popular in
+    phase 0, which is the regime where the sequential-scan selection of the
+    Elkin'05-style approach pays ``Theta(n)`` rounds while the ruling-set
+    selection pays only ``~n^{1/c}`` -- the running-time gap Table 1 is about.
+    """
+    parameters = default_parameters(epsilon, kappa, rho)
+    workload_kwargs: Dict[str, object] = {}
+    if family == "gnp" and edge_probability is not None:
+        workload_kwargs["p"] = edge_probability
+    record = ExperimentRecord(
+        name="table1-deterministic-congest",
+        description=(
+            "Table 1: deterministic CONGEST near-additive spanner algorithms "
+            "(Elkin'05 vs. the new algorithm)."
+        ),
+        parameters={
+            "epsilon": epsilon,
+            "kappa": kappa,
+            "rho": rho,
+            "sizes": list(sizes),
+            "family": family,
+        },
+    )
+
+    # ------------------------------------------------------------------
+    # Part 1: the published formulas.
+    # ------------------------------------------------------------------
+    reference_n = max(sizes)
+    for row in table1_rows(epsilon, kappa, rho, reference_n):
+        entry = row.to_dict()
+        entry["kind"] = "theory"
+        record.rows.append(entry)
+
+    kappa_sweep = [4, 8, 16, 32, 64, 128, 256, 512]
+    beta_old_series = [beta_elkin05(epsilon, k, rho) for k in kappa_sweep]
+    beta_new_series = [beta_new(epsilon, k, rho) for k in kappa_sweep]
+    record.series["kappa-sweep"] = [float(k) for k in kappa_sweep]
+    record.series["beta-elkin05"] = beta_old_series
+    record.series["beta-new"] = beta_new_series
+    record.checks["beta-new-eventually-smaller"] = beta_new_series[-1] < beta_old_series[-1]
+
+    # ------------------------------------------------------------------
+    # Part 2: measured comparison on an n sweep.
+    # ------------------------------------------------------------------
+    new_rounds: List[float] = []
+    surrogate_rounds: List[float] = []
+    new_selection_rounds: List[float] = []
+    surrogate_selection_rounds: List[float] = []
+    new_edges: List[float] = []
+    guarantee_ok = True
+    c = parameters.domination_multiplier
+    for index, size in enumerate(sizes):
+        graph = make_workload(family, size, seed=seed + index, **workload_kwargs)
+        measurement, result = measure_deterministic(
+            graph,
+            parameters,
+            graph_name=f"{family}-{size}",
+            engine="centralized",
+            sample_pairs=sample_pairs,
+            seed=seed,
+        )
+        row = measurement.to_row()
+        row["kind"] = "measured"
+        record.rows.append(row)
+        new_rounds.append(float(measurement.nominal_rounds or 0))
+        new_edges.append(float(measurement.num_spanner_edges))
+        guarantee_ok = guarantee_ok and measurement.guarantee_satisfied
+
+        # Center-selection cost: the one step the paper derandomizes.  The new
+        # algorithm pays a ruling-set computation, O(c * n^{1/c} * 2 delta_i)
+        # rounds per phase with popular clusters; a sequential-scan selection
+        # (the Elkin'05-style approach) pays O(|W_i| * 2 delta_i).
+        base = max(2, math.ceil(graph.num_vertices ** (1.0 / c)))
+        selection_new = 0.0
+        selection_sequential = 0.0
+        for phase in result.phase_records:
+            if phase.index >= parameters.ell or phase.num_popular == 0:
+                continue
+            selection_new += c * base * 2 * phase.delta
+            selection_sequential += phase.num_popular * 2 * phase.delta
+        new_selection_rounds.append(selection_new)
+        surrogate_selection_rounds.append(selection_sequential)
+
+        surrogate_measurement, _ = measure_baseline(
+            graph,
+            lambda g=graph: build_elkin05_surrogate_spanner(g, parameters),
+            graph_name=f"{family}-{size}",
+            sample_pairs=sample_pairs,
+            seed=seed,
+        )
+        surrogate_row = surrogate_measurement.to_row()
+        surrogate_row["kind"] = "measured"
+        record.rows.append(surrogate_row)
+        surrogate_rounds.append(float(surrogate_measurement.nominal_rounds or 0))
+        guarantee_ok = guarantee_ok and surrogate_measurement.guarantee_satisfied
+
+    record.series["n"] = [float(s) for s in sizes]
+    record.series["rounds-new"] = new_rounds
+    record.series["rounds-elkin05-surrogate"] = surrogate_rounds
+    record.series["selection-rounds-new"] = new_selection_rounds
+    record.series["selection-rounds-sequential"] = surrogate_selection_rounds
+    record.series["spanner-edges-new"] = new_edges
+
+    new_exponent = fit_power_law(sizes, new_rounds)
+    surrogate_exponent = fit_power_law(sizes, surrogate_rounds)
+    selection_new_exponent = fit_power_law(sizes, new_selection_rounds)
+    selection_sequential_exponent = fit_power_law(sizes, surrogate_selection_rounds)
+    record.parameters["rounds-exponent-new"] = round(new_exponent, 3)
+    record.parameters["rounds-exponent-elkin05-surrogate"] = round(surrogate_exponent, 3)
+    record.parameters["selection-exponent-new"] = round(selection_new_exponent, 3)
+    record.parameters["selection-exponent-sequential"] = round(selection_sequential_exponent, 3)
+
+    record.checks["stretch-guarantees-hold"] = guarantee_ok
+    record.checks["new-rounds-sublinear-in-n"] = new_exponent < 1.0
+    record.checks["selection-rounds-grow-slower-than-sequential"] = (
+        selection_new_exponent < selection_sequential_exponent + 1e-9
+    )
+    record.checks["selection-cheaper-at-largest-n"] = (
+        new_selection_rounds[-1] <= surrogate_selection_rounds[-1] + 1e-9
+    )
+    record.checks["edges-scale-near-linearly"] = (
+        fit_power_law(sizes, new_edges) < 1.0 + 1.0 / kappa + 0.35
+    )
+    record.add_note(
+        "Round counts are nominal CONGEST rounds.  The 'selection' series isolates "
+        "the center-selection step the paper derandomizes: the ruling-set approach "
+        "costs ~n^{1/c} per phase while the sequential-scan approach costs ~|W_i| "
+        "(linear in n on dense inputs), which is the source of Elkin'05's superlinear "
+        "running time (see DESIGN.md substitution 3)."
+    )
+    record.add_note(
+        "Theory rows evaluate the published formulas with all O(1) constants set "
+        "to 1, so only relative shapes (who grows faster in n / kappa) are meaningful."
+    )
+    return record

@@ -1,0 +1,76 @@
+"""Workload suite for the table/figure experiments.
+
+The paper has no experimental section, so the workloads are chosen to exercise
+the regimes its analysis distinguishes:
+
+* ``gnp-sparse`` / ``gnm-dense`` -- unstructured random graphs (the generic
+  case for the cluster-count lemmas);
+* ``grid`` / ``torus`` / ``clustered-path`` -- large-diameter graphs, where
+  near-additive spanners preserve long distances much better than
+  multiplicative ones (the paper's motivation);
+* ``planted`` -- community graphs with many popular centers, stressing the
+  superclustering machinery (Figures 1-4);
+* ``caterpillar`` / ``tree`` -- already-sparse graphs (sanity: the spanner
+  should keep almost everything);
+* ``hypercube`` / ``regular`` -- low-diameter expander-like graphs (stressing
+  the interconnection step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.parameters import SpannerParameters
+from ..graphs.graph import Graph
+from ..graphs import generators
+
+
+def default_parameters(epsilon: float = 0.25, kappa: int = 3, rho: float = 1.0 / 3.0) -> SpannerParameters:
+    """The parameter setting used by all experiments unless overridden.
+
+    The internal-epsilon convention is used so the phase thresholds stay
+    human-scale; the resulting exact ``(1+alpha, beta)`` guarantee is reported
+    alongside every measurement.
+    """
+    return SpannerParameters.from_internal_epsilon(epsilon, kappa, rho)
+
+
+def experiment_workloads(scale: int = 200, seed: int = 7) -> Dict[str, Graph]:
+    """The named workload graphs, all of roughly ``scale`` vertices."""
+    side = max(4, int(round(scale ** 0.5)))
+    clusters = max(2, scale // 16)
+    cluster_size = max(3, scale // clusters)
+    return {
+        "gnp-sparse": generators.gnp_random_graph(scale, 4.0 / max(scale - 1, 1), seed=seed),
+        "gnm-dense": generators.gnm_random_graph(
+            scale, min(6 * scale, scale * (scale - 1) // 2), seed=seed + 1
+        ),
+        "grid": generators.grid_graph(side, side),
+        "torus": generators.torus_graph(side, side),
+        "clustered-path": generators.clustered_path_graph(max(2, scale // 10), 10),
+        "planted": generators.planted_partition_graph(
+            clusters, cluster_size, p_intra=0.5, p_inter=0.02, seed=seed + 2
+        ),
+        "caterpillar": generators.caterpillar_graph(max(2, scale // 3), 2),
+        "tree": generators.random_tree(scale, seed=seed + 3),
+        "hypercube": generators.hypercube_graph(max(3, scale.bit_length() - 1)),
+        "regular": generators.random_regular_like_graph(scale, 4, seed=seed + 4),
+    }
+
+
+def scaling_sizes(base: int = 100, steps: int = 4, factor: float = 2.0) -> List[int]:
+    """Geometric size sweep used by the scaling experiments."""
+    sizes = []
+    size = base
+    for _ in range(steps):
+        sizes.append(int(size))
+        size *= factor
+    return sizes
+
+
+def scaling_graphs(sizes: Iterable[int], family: str = "gnp", seed: int = 11) -> List[Tuple[int, Graph]]:
+    """One graph per size from the given family (for round/size scaling plots)."""
+    graphs = []
+    for index, size in enumerate(sizes):
+        graphs.append((size, generators.make_workload(family, size, seed=seed + index)))
+    return graphs

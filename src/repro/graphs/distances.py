@@ -1,0 +1,149 @@
+"""Exact and sampled distance computations.
+
+Used by the stretch-verification code (:mod:`repro.analysis.stretch`) and by
+several experiments that need all-pairs or sampled-pairs distances in both the
+host graph and the spanner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .bfs import bfs_distances
+from .graph import Graph
+
+INFINITY: float = float("inf")
+
+
+def single_source_distances(graph: Graph, source: int) -> List[float]:
+    """Return a dense distance vector from ``source`` (``inf`` if unreachable)."""
+    dist = [INFINITY] * graph.num_vertices
+    for v, d in bfs_distances(graph, source).items():
+        dist[v] = float(d)
+    return dist
+
+
+def all_pairs_distances(graph: Graph) -> List[List[float]]:
+    """Return the full ``n x n`` distance matrix (``inf`` for unreachable pairs).
+
+    This is ``O(n(n+m))`` and intended for verification on small/medium graphs.
+    """
+    return [single_source_distances(graph, s) for s in graph.vertices()]
+
+
+def distances_from_sources(graph: Graph, sources: Iterable[int]) -> Dict[int, List[float]]:
+    """Return ``{s: distance vector from s}`` for the given sources."""
+    return {s: single_source_distances(graph, s) for s in sources}
+
+
+def pairwise_distance(graph: Graph, u: int, v: int) -> float:
+    """Return the exact distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+    dist = bfs_distances(graph, u)
+    return float(dist[v]) if v in dist else INFINITY
+
+
+def eccentricity(graph: Graph, v: int) -> float:
+    """Return the eccentricity of ``v`` within its connected component."""
+    dist = bfs_distances(graph, v)
+    return float(max(dist.values())) if dist else 0.0
+
+
+def diameter(graph: Graph) -> float:
+    """Return the diameter (max eccentricity over the whole graph).
+
+    Disconnected graphs report the maximum *intra-component* eccentricity; a
+    graph with no vertices has diameter 0.
+    """
+    best = 0.0
+    for v in graph.vertices():
+        best = max(best, eccentricity(graph, v))
+    return best
+
+
+def radius(graph: Graph) -> float:
+    """Return the radius (min eccentricity) of a non-empty graph."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return min(eccentricity(graph, v) for v in graph.vertices())
+
+
+def average_distance(graph: Graph, pairs: Optional[Iterable[Tuple[int, int]]] = None) -> float:
+    """Average finite distance over all (or the given) vertex pairs."""
+    total = 0.0
+    count = 0
+    if pairs is None:
+        matrix = all_pairs_distances(graph)
+        n = graph.num_vertices
+        for u in range(n):
+            for v in range(u + 1, n):
+                d = matrix[u][v]
+                if d != INFINITY:
+                    total += d
+                    count += 1
+    else:
+        for u, v in pairs:
+            d = pairwise_distance(graph, u, v)
+            if d != INFINITY:
+                total += d
+                count += 1
+    return total / count if count else 0.0
+
+
+def sample_vertex_pairs(
+    num_vertices: int,
+    num_pairs: int,
+    seed: int = 0,
+    distinct: bool = True,
+) -> List[Tuple[int, int]]:
+    """Deterministically sample vertex pairs for stretch estimation.
+
+    Parameters
+    ----------
+    num_vertices:
+        The graph order; pairs are drawn from ``0..n-1``.
+    num_pairs:
+        How many pairs to draw (capped at ``n*(n-1)/2`` when ``distinct``).
+    seed:
+        RNG seed; sampling is reproducible.
+    distinct:
+        When true, all returned pairs are distinct unordered pairs.
+    """
+    if num_vertices < 2 or num_pairs <= 0:
+        return []
+    rng = random.Random(seed)
+    if distinct:
+        max_pairs = num_vertices * (num_vertices - 1) // 2
+        num_pairs = min(num_pairs, max_pairs)
+        seen = set()
+        pairs: List[Tuple[int, int]] = []
+        while len(pairs) < num_pairs:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append(key)
+        return pairs
+    return [
+        tuple(sorted(rng.sample(range(num_vertices), 2)))  # type: ignore[misc]
+        for _ in range(num_pairs)
+    ]
+
+
+def distance_histogram(graph: Graph, max_sources: Optional[int] = None, seed: int = 0) -> Dict[int, int]:
+    """Histogram of pairwise distances (possibly from a sample of sources)."""
+    sources = list(graph.vertices())
+    if max_sources is not None and len(sources) > max_sources:
+        rng = random.Random(seed)
+        sources = sorted(rng.sample(sources, max_sources))
+    histogram: Dict[int, int] = {}
+    for s in sources:
+        for v, d in bfs_distances(graph, s).items():
+            if v > s or (max_sources is not None):
+                histogram[d] = histogram.get(d, 0) + 1
+    histogram.pop(0, None)
+    return histogram

@@ -1,0 +1,414 @@
+"""Deterministic (seeded) graph generators used as experiment workloads.
+
+All generators produce :class:`repro.graphs.graph.Graph` instances and take an
+explicit ``seed`` where randomness is involved, so every experiment in the
+benchmark harness is reproducible bit-for-bit.
+
+The families below cover the workloads the paper's setting cares about:
+
+* sparse and dense Erdos-Renyi graphs (typical "no structure" inputs),
+* grids / tori / rings / paths (large-diameter inputs where near-additive
+  spanners shine compared to multiplicative ones),
+* trees and caterpillars (already optimally sparse; sanity inputs),
+* hypercubes and expanders-by-proxy (small diameter, high expansion),
+* clustered "community" graphs (many popular cluster centers, exercising the
+  superclustering machinery),
+* barbell / lollipop graphs (dense cores attached to long paths, the classic
+  bad case for multiplicative stretch on large distances).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+
+def empty_graph(num_vertices: int) -> Graph:
+    """Graph with ``num_vertices`` vertices and no edges."""
+    return Graph(num_vertices)
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """The complete graph K_n."""
+    g = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            g.add_edge(u, v)
+    return g
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """The path P_n."""
+    g = Graph(num_vertices)
+    for v in range(num_vertices - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """The cycle C_n (requires ``n >= 3``; smaller n degrades to a path)."""
+    g = path_graph(num_vertices)
+    if num_vertices >= 3:
+        g.add_edge(num_vertices - 1, 0)
+    return g
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """A star with center 0 and ``num_leaves`` leaves."""
+    g = Graph(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        g.add_edge(0, leaf)
+    return g
+
+
+def complete_bipartite_graph(left: int, right: int) -> Graph:
+    """The complete bipartite graph K_{left,right}."""
+    g = Graph(left + right)
+    for u in range(left):
+        for v in range(left, left + right):
+            g.add_edge(u, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid (4-neighbour lattice)."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (grid with wrap-around)."""
+    g = grid_graph(rows, cols)
+    if cols >= 3:
+        for r in range(rows):
+            g.add_edge(r * cols, r * cols + cols - 1)
+    if rows >= 3:
+        for c in range(cols):
+            g.add_edge(c, (rows - 1) * cols + c)
+    return g
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube Q_d."""
+    n = 1 << dimension
+    g = Graph(n)
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """A complete ``branching``-ary tree of the given height (height 0 = single root)."""
+    if branching < 1:
+        raise ValueError("branching factor must be >= 1")
+    num_vertices = 1
+    layer = 1
+    for _ in range(height):
+        layer *= branching
+        num_vertices += layer
+    g = Graph(num_vertices)
+    for v in range(1, num_vertices):
+        parent = (v - 1) // branching
+        g.add_edge(v, parent)
+    return g
+
+
+def caterpillar_graph(spine_length: int, legs_per_vertex: int) -> Graph:
+    """A caterpillar: a path (spine) with ``legs_per_vertex`` pendant leaves each."""
+    n = spine_length + spine_length * legs_per_vertex
+    g = Graph(n)
+    for v in range(spine_length - 1):
+        g.add_edge(v, v + 1)
+    leaf = spine_length
+    for v in range(spine_length):
+        for _ in range(legs_per_vertex):
+            g.add_edge(v, leaf)
+            leaf += 1
+    return g
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two cliques of ``clique_size`` joined by a path with ``path_length`` interior vertices."""
+    n = 2 * clique_size + path_length
+    g = Graph(n)
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            g.add_edge(u, v)
+    offset = clique_size + path_length
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            g.add_edge(offset + u, offset + v)
+    chain = [clique_size - 1] + list(range(clique_size, clique_size + path_length)) + [offset]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique with a pendant path of ``path_length`` vertices."""
+    n = clique_size + path_length
+    g = Graph(n)
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            g.add_edge(u, v)
+    previous = clique_size - 1
+    for v in range(clique_size, n):
+        g.add_edge(previous, v)
+        previous = v
+    return g
+
+
+def gnp_random_graph(num_vertices: int, edge_probability: float, seed: int = 0) -> Graph:
+    """Erdos-Renyi G(n, p) with a fixed seed."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                g.add_edge(u, v)
+    return g
+
+
+def gnm_random_graph(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+    """Erdos-Renyi G(n, m): exactly ``num_edges`` distinct edges chosen uniformly."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"cannot place {num_edges} edges in a simple graph on {num_vertices} vertices")
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    while g.num_edges < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def random_connected_graph(num_vertices: int, extra_edges: int, seed: int = 0) -> Graph:
+    """A random spanning tree plus ``extra_edges`` random chords: always connected."""
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(1, num_vertices):
+        g.add_edge(order[i], order[rng.randrange(i)])
+    added = 0
+    attempts = 0
+    max_attempts = 50 * (extra_edges + 1) + 100
+    while added < extra_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def random_tree(num_vertices: int, seed: int = 0) -> Graph:
+    """A uniformly-seeded random spanning tree (random attachment order)."""
+    return random_connected_graph(num_vertices, extra_edges=0, seed=seed)
+
+
+def random_regular_like_graph(num_vertices: int, degree: int, seed: int = 0) -> Graph:
+    """An approximately ``degree``-regular graph built by union of random perfect matchings.
+
+    This serves as an expander-like workload (small diameter, no dense clusters).
+    """
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    vertices = list(range(num_vertices))
+    for _ in range(degree):
+        rng.shuffle(vertices)
+        for i in range(0, num_vertices - 1, 2):
+            u, v = vertices[i], vertices[i + 1]
+            if u != v:
+                g.add_edge(u, v)
+    return g
+
+
+def planted_partition_graph(
+    num_clusters: int,
+    cluster_size: int,
+    p_intra: float,
+    p_inter: float,
+    seed: int = 0,
+) -> Graph:
+    """A planted-partition ("community") graph.
+
+    Dense intra-cluster probability ``p_intra`` and sparse inter-cluster
+    probability ``p_inter``.  This workload maximizes the number of *popular*
+    cluster centers in the early phases of the algorithm and therefore
+    exercises the superclustering machinery (Figures 1-2 of the paper).
+    """
+    rng = random.Random(seed)
+    n = num_clusters * cluster_size
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u // cluster_size) == (v // cluster_size)
+            p = p_intra if same else p_inter
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def clustered_path_graph(
+    num_clusters: int,
+    cluster_size: int,
+    seed: int = 0,
+) -> Graph:
+    """Cliques arranged along a path, adjacent cliques joined by a single edge.
+
+    Large diameter plus dense local structure: the canonical workload where a
+    near-additive spanner beats a multiplicative one on long distances.
+    """
+    n = num_clusters * cluster_size
+    g = Graph(n)
+    for c in range(num_clusters):
+        base = c * cluster_size
+        for u in range(cluster_size):
+            for v in range(u + 1, cluster_size):
+                g.add_edge(base + u, base + v)
+        if c + 1 < num_clusters:
+            g.add_edge(base + cluster_size - 1, base + cluster_size)
+    _ = seed  # kept for interface uniformity
+    return g
+
+
+def preferential_attachment_graph(num_vertices: int, edges_per_vertex: int, seed: int = 0) -> Graph:
+    """Barabasi-Albert-style preferential attachment (skewed degrees)."""
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    if num_vertices == 0:
+        return g
+    targets: List[int] = [0]
+    for v in range(1, num_vertices):
+        chosen = set()
+        wanted = min(edges_per_vertex, v)
+        while len(chosen) < wanted:
+            chosen.add(targets[rng.randrange(len(targets))] if targets else rng.randrange(v))
+        for u in chosen:
+            if u != v:
+                g.add_edge(u, v)
+                targets.append(u)
+                targets.append(v)
+    return g
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union of several graphs (vertex IDs are shifted)."""
+    total = sum(g.num_vertices for g in graphs)
+    result = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            result.add_edge(u + offset, v + offset)
+        offset += g.num_vertices
+    return result
+
+
+def add_random_perturbation(graph: Graph, num_extra_edges: int, seed: int = 0) -> Graph:
+    """Return a copy of ``graph`` with up to ``num_extra_edges`` random chords added."""
+    rng = random.Random(seed)
+    g = graph.copy()
+    n = g.num_vertices
+    if n < 2:
+        return g
+    attempts = 0
+    added = 0
+    while added < num_extra_edges and attempts < 50 * (num_extra_edges + 1):
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+WORKLOAD_FAMILIES: Tuple[str, ...] = (
+    "gnp",
+    "gnm",
+    "grid",
+    "torus",
+    "cycle",
+    "path",
+    "hypercube",
+    "tree",
+    "caterpillar",
+    "barbell",
+    "lollipop",
+    "planted",
+    "clustered_path",
+    "preferential",
+    "regular",
+    "random_connected",
+)
+
+
+def make_workload(family: str, size: int, seed: int = 0, **kwargs) -> Graph:
+    """Build a named workload graph of roughly ``size`` vertices.
+
+    This is the single entry point used by the experiment harness; see
+    :data:`WORKLOAD_FAMILIES` for valid names.
+    """
+    if family == "gnp":
+        p = kwargs.get("p", min(1.0, 4.0 / max(size - 1, 1)))
+        return gnp_random_graph(size, p, seed=seed)
+    if family == "gnm":
+        m = kwargs.get("m", 3 * size)
+        return gnm_random_graph(size, min(m, size * (size - 1) // 2), seed=seed)
+    if family == "grid":
+        side = max(2, int(round(size ** 0.5)))
+        return grid_graph(side, side)
+    if family == "torus":
+        side = max(3, int(round(size ** 0.5)))
+        return torus_graph(side, side)
+    if family == "cycle":
+        return cycle_graph(size)
+    if family == "path":
+        return path_graph(size)
+    if family == "hypercube":
+        dimension = max(1, int(round(size)).bit_length() - 1)
+        return hypercube_graph(dimension)
+    if family == "tree":
+        return random_tree(size, seed=seed)
+    if family == "caterpillar":
+        spine = max(1, size // 3)
+        return caterpillar_graph(spine, 2)
+    if family == "barbell":
+        clique = max(3, size // 3)
+        return barbell_graph(clique, max(1, size - 2 * clique))
+    if family == "lollipop":
+        clique = max(3, size // 2)
+        return lollipop_graph(clique, max(1, size - clique))
+    if family == "planted":
+        clusters = kwargs.get("clusters", max(2, size // 16))
+        cluster_size = max(2, size // clusters)
+        return planted_partition_graph(clusters, cluster_size, kwargs.get("p_intra", 0.6), kwargs.get("p_inter", 0.01), seed=seed)
+    if family == "clustered_path":
+        clusters = kwargs.get("clusters", max(2, size // 8))
+        cluster_size = max(2, size // clusters)
+        return clustered_path_graph(clusters, cluster_size, seed=seed)
+    if family == "preferential":
+        return preferential_attachment_graph(size, kwargs.get("m", 3), seed=seed)
+    if family == "regular":
+        return random_regular_like_graph(size, kwargs.get("degree", 4), seed=seed)
+    if family == "random_connected":
+        return random_connected_graph(size, kwargs.get("extra_edges", 2 * size), seed=seed)
+    raise ValueError(f"unknown workload family: {family!r}")

@@ -1,0 +1,202 @@
+"""Lightweight adjacency-list graph used throughout the reproduction.
+
+The paper works on unweighted, undirected, simple graphs whose vertices carry
+unique IDs in ``[n]``.  We mirror that convention: vertices are the integers
+``0 .. n-1`` and the vertex ID *is* the vertex.  The class is intentionally
+small and dependency-free so that both the CONGEST simulator and the
+centralized reference algorithms can share it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) representation of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An unweighted, undirected, simple graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.  Vertices are always the integers ``0..n-1``.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Self-loops are rejected and
+        parallel edges are collapsed.
+    """
+
+    __slots__ = ("_n", "_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._n = int(num_vertices)
+        self._adj: List[Set[int]] = [set() for _ in range(self._n)]
+        self._num_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """Iterate over all vertex IDs."""
+        return range(self._n)
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Return the set of neighbours of ``v`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Return the degree of vertex ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Return the maximum degree of the graph (0 for an empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(len(adj) for adj in self._adj)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether the undirected edge ``{u, v}`` is present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in canonical ``(min, max)`` form."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> Set[Edge]:
+        """Return all edges as a set of canonical pairs."""
+        return set(self.edges())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already existed.
+        Self-loops raise ``ValueError``.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (vertex {u})")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Add many edges; return the number of edges actually inserted."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove the undirected edge ``{u, v}`` if present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of this graph."""
+        other = Graph(self._n)
+        other._adj = [set(adj) for adj in self._adj]
+        other._num_edges = self._num_edges
+        return other
+
+    def subgraph_from_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return a spanning subgraph (same vertex set) with only ``edges``.
+
+        Every edge must be an edge of this graph; otherwise ``ValueError`` is
+        raised, because a spanner must be a subgraph of its host graph.
+        """
+        sub = Graph(self._n)
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise ValueError(f"edge {(u, v)} is not present in the host graph")
+            sub.add_edge(u, v)
+        return sub
+
+    def is_subgraph_of(self, other: "Graph") -> bool:
+        """Return whether every edge of ``self`` is an edge of ``other``."""
+        if self._n != other.num_vertices:
+            return False
+        return all(other.has_edge(u, v) for u, v in self.edges())
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Return a fresh adjacency dictionary (copies of neighbour sets)."""
+        return {v: set(self._adj[v]) for v in range(self._n)}
+
+    def density(self) -> float:
+        """Return the edge density ``m / (n choose 2)`` (0 for n < 2)."""
+        if self._n < 2:
+            return 0.0
+        return self._num_edges / (self._n * (self._n - 1) / 2)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._num_edges})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise ValueError(f"vertex {v} is out of range [0, {self._n})")
+
+
+def graph_from_edge_list(num_vertices: int, edges: Sequence[Edge]) -> Graph:
+    """Convenience constructor mirroring :class:`Graph`'s signature."""
+    return Graph(num_vertices, edges)
+
+
+def union_of_edges(num_vertices: int, *edge_groups: Iterable[Edge]) -> Graph:
+    """Build a graph whose edge set is the union of several edge iterables."""
+    g = Graph(num_vertices)
+    for group in edge_groups:
+        g.add_edges(group)
+    return g

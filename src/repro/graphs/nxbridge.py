@@ -1,0 +1,59 @@
+"""Optional bridges to :mod:`networkx`.
+
+networkx is an optional dependency (installed in the reproduction environment
+but not required by the core library).  These helpers exist so downstream
+users can move graphs in and out of the rest of the Python graph ecosystem and
+so tests can cross-check our distance computations against an independent
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx  # noqa: F401
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment-specific
+        raise ImportError(
+            "networkx is required for this operation; install repro[analysis]"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: Graph) -> "networkx.Graph":
+    """Convert a :class:`repro.graphs.Graph` to ``networkx.Graph``."""
+    nx = _require_networkx()
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph: "networkx.Graph") -> Graph:
+    """Convert a ``networkx.Graph`` with arbitrary hashable nodes.
+
+    Nodes are relabelled ``0..n-1`` deterministically: integer nodes keep
+    their numeric order (so graphs that already use ``0..n-1`` round-trip
+    unchanged), any other nodes follow in string order.
+    """
+    nodes = sorted(
+        nx_graph.nodes(),
+        key=lambda node: (
+            (0, int(node), "") if isinstance(node, int) and not isinstance(node, bool)
+            else (1, 0, f"{type(node).__name__}:{node}")
+        ),
+    )
+    index = {node: i for i, node in enumerate(nodes)}
+    graph = Graph(len(nodes))
+    for u, v in nx_graph.edges():
+        if u == v:
+            continue
+        graph.add_edge(index[u], index[v])
+    return graph

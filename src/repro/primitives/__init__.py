@@ -1,0 +1,58 @@
+"""Distributed CONGEST primitives used by the spanner construction."""
+
+from .aggregation import (
+    BroadcastResult,
+    ConvergecastResult,
+    count_vertices,
+    run_broadcast,
+    run_convergecast,
+)
+from .bellman_ford import BellmanFordResult, run_bellman_ford
+from .bfs_forest import ForestResult, forest_membership, run_bfs_forest
+from .exploration import (
+    ExplorationResult,
+    KnownCenter,
+    centralized_bounded_exploration,
+    run_bounded_exploration,
+)
+from .ruling_set import (
+    RulingSetResult,
+    centralized_ruling_set,
+    id_digits,
+    run_ruling_set,
+    verify_ruling_set,
+)
+from .traceback import (
+    TracebackResult,
+    centralized_forest_markup,
+    centralized_traceback,
+    run_forest_path_markup,
+    run_traceback,
+)
+
+__all__ = [
+    "BellmanFordResult",
+    "BroadcastResult",
+    "ConvergecastResult",
+    "ExplorationResult",
+    "ForestResult",
+    "KnownCenter",
+    "RulingSetResult",
+    "TracebackResult",
+    "centralized_bounded_exploration",
+    "centralized_forest_markup",
+    "centralized_ruling_set",
+    "centralized_traceback",
+    "count_vertices",
+    "forest_membership",
+    "id_digits",
+    "run_bellman_ford",
+    "run_bfs_forest",
+    "run_bounded_exploration",
+    "run_broadcast",
+    "run_convergecast",
+    "run_forest_path_markup",
+    "run_ruling_set",
+    "run_traceback",
+    "verify_ruling_set",
+]

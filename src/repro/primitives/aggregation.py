@@ -1,0 +1,197 @@
+"""Broadcast / convergecast utilities over BFS trees.
+
+These are standard CONGEST building blocks.  The spanner algorithm itself
+needs almost no global coordination (every phase's schedule is computable from
+``n`` and the parameters alone), but the example applications and the
+Elkin-Neiman baseline use tree broadcast and convergecast, and they are also
+handy for tests of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..congest.message import Message
+from ..congest.node import NodeContext, NodeProgram
+from ..congest.simulator import Simulator
+from .bfs_forest import ForestResult, run_bfs_forest
+
+BROADCAST_TAG = "bcast"
+CONVERGE_TAG = "converge"
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of a flood broadcast: which vertices received the value."""
+
+    value: Any
+    received: List[bool]
+    nominal_rounds: int
+    simulated_rounds: int
+
+
+class _FloodProgram(NodeProgram):
+    """Simple flooding: forward the value once upon first receipt."""
+
+    def __init__(self, node_id: int, is_source: bool, value: Any) -> None:
+        self.node_id = node_id
+        self.value = value if is_source else None
+        self.received = is_source
+        self._sent = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.received and not self._sent:
+            ctx.broadcast(BROADCAST_TAG, self.value)
+            self._sent = True
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        if self.received:
+            return
+        for message in inbox:
+            if message.content[0] == BROADCAST_TAG:
+                self.value = message.content[1]
+                self.received = True
+                break
+        if self.received and not self._sent:
+            ctx.broadcast(BROADCAST_TAG, self.value)
+            self._sent = True
+
+    def result(self):
+        return (self.received, self.value)
+
+
+def run_broadcast(
+    simulator: Simulator,
+    source: int,
+    value: Any,
+    label: str = "broadcast",
+) -> BroadcastResult:
+    """Flood a single O(1)-word ``value`` from ``source`` to every reachable vertex."""
+    n = simulator.graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    programs = [_FloodProgram(v, v == source, value) for v in range(n)]
+    run = simulator.run_protocol(programs, label=label)
+    received = [r[0] for r in run.results]
+    return BroadcastResult(
+        value=value,
+        received=received,
+        nominal_rounds=run.rounds_executed,
+        simulated_rounds=run.rounds_executed,
+    )
+
+
+@dataclass
+class ConvergecastResult:
+    """Outcome of a convergecast aggregation toward a root."""
+
+    root: int
+    value: Any
+    nominal_rounds: int
+    simulated_rounds: int
+
+
+class _ConvergecastProgram(NodeProgram):
+    """Aggregate leaf-to-root over a given BFS tree.
+
+    Every vertex waits until it has heard from all its tree children, combines
+    their values with its own through ``combine`` and reports the result to
+    its parent.  Leaves report immediately.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        parent: Optional[int],
+        num_children: int,
+        local_value: Any,
+        combine: Callable[[Any, Any], Any],
+    ) -> None:
+        self.node_id = node_id
+        self.parent = parent
+        self.pending_children = num_children
+        self.accumulated = local_value
+        self.combine = combine
+        self._reported = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._maybe_report(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            if message.content[0] != CONVERGE_TAG:
+                continue
+            self.accumulated = self.combine(self.accumulated, message.content[1])
+            self.pending_children -= 1
+        self._maybe_report(ctx)
+
+    def _maybe_report(self, ctx: NodeContext) -> None:
+        if self._reported or self.pending_children > 0:
+            return
+        if self.parent is not None:
+            ctx.send(self.parent, CONVERGE_TAG, self.accumulated)
+        self._reported = True
+
+    def is_idle(self) -> bool:
+        return self._reported or self.pending_children > 0
+
+    def result(self):
+        return self.accumulated
+
+
+def run_convergecast(
+    simulator: Simulator,
+    root: int,
+    local_values: List[Any],
+    combine: Callable[[Any, Any], Any],
+    tree: Optional[ForestResult] = None,
+    label: str = "convergecast",
+) -> ConvergecastResult:
+    """Aggregate ``local_values`` toward ``root`` over a BFS tree.
+
+    When ``tree`` is omitted, a BFS tree rooted at ``root`` is built first
+    (its rounds are charged separately).  Vertices outside the root's
+    component do not participate.
+    """
+    graph = simulator.graph
+    n = graph.num_vertices
+    if len(local_values) != n:
+        raise ValueError("local_values must have one entry per vertex")
+    if tree is None:
+        tree = run_bfs_forest(simulator, [root], depth=n, label=f"{label}:tree")
+    children_count = [0] * n
+    for v in range(n):
+        p = tree.parent[v]
+        if p is not None and tree.root[v] == root:
+            children_count[p] += 1
+    programs = [
+        _ConvergecastProgram(
+            v,
+            tree.parent[v] if tree.root[v] == root else None,
+            children_count[v],
+            local_values[v],
+            combine,
+        )
+        for v in range(n)
+    ]
+    run = simulator.run_protocol(programs, label=label)
+    return ConvergecastResult(
+        root=root,
+        value=run.results[root],
+        nominal_rounds=run.rounds_executed,
+        simulated_rounds=run.rounds_executed,
+    )
+
+
+def count_vertices(simulator: Simulator, root: int, label: str = "count") -> int:
+    """Count the vertices in ``root``'s connected component via convergecast."""
+    n = simulator.graph.num_vertices
+    result = run_convergecast(
+        simulator,
+        root,
+        local_values=[1] * n,
+        combine=lambda a, b: a + b,
+        label=label,
+    )
+    return int(result.value)

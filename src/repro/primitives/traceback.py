@@ -1,0 +1,241 @@
+"""Path trace-back protocols.
+
+Two places in the algorithm turn *knowledge of a path* into *edges added to
+the spanner*:
+
+* the **interconnection step** (paper Section 2.3): a cluster center ``r_C``
+  that knows center ``r_C'`` (through Algorithm 1) traces the message that
+  informed it back towards ``r_C'``, adding every traversed edge to ``H``;
+* the **superclustering step** (Section 2.2): for every cluster center spanned
+  by the BFS forest ``F_i``, the forest path from the root to that center is
+  added to ``H``.
+
+Both are implemented as CONGEST protocols here.  Requests move one hop per
+round; when several requests queue up at a vertex for the same neighbour they
+are paced at one message per round (the paper charges ``O(deg_i * delta_i)``
+rounds for the interconnection trace-back, which our nominal accounting
+mirrors).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..congest.message import Message
+from ..congest.node import NodeContext, NodeProgram
+from ..congest.simulator import Simulator
+from ..graphs.graph import normalize_edge
+from .bfs_forest import ForestResult
+from .exploration import ExplorationResult
+
+TRACE_TAG = "trace"
+MARKUP_TAG = "markup"
+
+
+@dataclass
+class TracebackResult:
+    """Edges added to the spanner by a trace-back protocol."""
+
+    edges: Set[Tuple[int, int]]
+    nominal_rounds: int
+    simulated_rounds: int
+
+
+class _TracebackProgram(NodeProgram):
+    """Forwards trace-back requests along via-pointers, marking traversed edges."""
+
+    def __init__(
+        self,
+        node_id: int,
+        via: Dict[int, Optional[int]],
+        initial_targets: Sequence[int],
+    ) -> None:
+        self.node_id = node_id
+        self.via = via
+        self.marked: Set[Tuple[int, int]] = set()
+        self.forwarded: Set[int] = set()
+        self.queues: Dict[int, deque] = {}
+        for target in initial_targets:
+            self._enqueue(target)
+
+    def _enqueue(self, target: int) -> None:
+        if target == self.node_id or target in self.forwarded:
+            return
+        next_hop = self.via.get(target)
+        if next_hop is None:
+            # Either we do not know the target or we are the target itself.
+            return
+        self.forwarded.add(target)
+        self.queues.setdefault(next_hop, deque()).append(target)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._flush(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        for message in sorted(inbox, key=lambda m: (m.sender, m.content)):
+            if message.content[0] != TRACE_TAG:
+                continue
+            _, target = message.content
+            self._enqueue(target)
+        self._flush(ctx)
+
+    def _flush(self, ctx: NodeContext) -> None:
+        for neighbor in sorted(self.queues.keys()):
+            queue = self.queues[neighbor]
+            if not queue:
+                continue
+            target = queue.popleft()
+            ctx.send(neighbor, TRACE_TAG, target)
+            self.marked.add(normalize_edge(self.node_id, neighbor))
+        self.queues = {k: v for k, v in self.queues.items() if v}
+
+    def is_idle(self) -> bool:
+        return not self.queues
+
+    def result(self) -> Set[Tuple[int, int]]:
+        return self.marked
+
+
+def run_traceback(
+    simulator: Simulator,
+    exploration: ExplorationResult,
+    requests: Dict[int, Iterable[int]],
+    label: str = "traceback",
+    nominal_rounds: Optional[int] = None,
+) -> TracebackResult:
+    """Trace shortest paths from each initiator to each of its targets.
+
+    ``requests`` maps an initiating vertex to the centers it wants to connect
+    to; the initiator must know each target through ``exploration`` (Theorem
+    2.1 guarantees this for non-popular centers).  Unknown targets are skipped
+    silently, mirroring the fact that the real protocol simply has no message
+    to trace.
+    """
+    graph = simulator.graph
+    n = graph.num_vertices
+    programs = []
+    for v in range(n):
+        via = {
+            center: entry.via
+            for center, entry in exploration.known[v].items()
+        }
+        initial = sorted(set(requests.get(v, ())))
+        programs.append(_TracebackProgram(v, via, initial))
+    if nominal_rounds is None:
+        nominal_rounds = exploration.cap * exploration.depth
+    run = simulator.run_protocol(
+        programs,
+        label=label,
+        nominal_rounds=nominal_rounds,
+    )
+    edges: Set[Tuple[int, int]] = set()
+    for marked in run.results:
+        edges.update(marked)
+    return TracebackResult(
+        edges=edges,
+        nominal_rounds=nominal_rounds,
+        simulated_rounds=run.rounds_executed,
+    )
+
+
+class _ForestMarkupProgram(NodeProgram):
+    """Marks forest edges on the path from designated vertices up to their roots."""
+
+    def __init__(self, node_id: int, parent: Optional[int], is_target: bool) -> None:
+        self.node_id = node_id
+        self.parent = parent
+        self.marked: Set[Tuple[int, int]] = set()
+        self._should_propagate = is_target and parent is not None
+        self._propagated = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._propagate(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            if message.content[0] != MARKUP_TAG:
+                continue
+            if self.parent is not None:
+                self._should_propagate = True
+        self._propagate(ctx)
+
+    def _propagate(self, ctx: NodeContext) -> None:
+        if self._should_propagate and not self._propagated:
+            assert self.parent is not None
+            ctx.send(self.parent, MARKUP_TAG)
+            self.marked.add(normalize_edge(self.node_id, self.parent))
+            self._propagated = True
+
+    def is_idle(self) -> bool:
+        return self._propagated or not self._should_propagate
+
+    def result(self) -> Set[Tuple[int, int]]:
+        return self.marked
+
+
+def run_forest_path_markup(
+    simulator: Simulator,
+    forest: ForestResult,
+    targets: Iterable[int],
+    label: str = "forest-markup",
+) -> TracebackResult:
+    """Add the forest path from every target up to its forest root.
+
+    Every vertex propagates the mark-up request at most once, so at most one
+    message crosses any edge during the whole protocol; the nominal round cost
+    is the forest depth.
+    """
+    n = simulator.graph.num_vertices
+    target_set = set(targets)
+    for t in target_set:
+        if not 0 <= t < n:
+            raise ValueError(f"target {t} out of range")
+        if not forest.spanned(t):
+            raise ValueError(f"target {t} is not spanned by the forest")
+    programs = [
+        _ForestMarkupProgram(v, forest.parent[v], v in target_set) for v in range(n)
+    ]
+    run = simulator.run_protocol(
+        programs,
+        label=label,
+        nominal_rounds=forest.depth,
+    )
+    edges: Set[Tuple[int, int]] = set()
+    for marked in run.results:
+        edges.update(marked)
+    return TracebackResult(
+        edges=edges,
+        nominal_rounds=forest.depth,
+        simulated_rounds=run.rounds_executed,
+    )
+
+
+def centralized_traceback(
+    exploration: ExplorationResult,
+    requests: Dict[int, Iterable[int]],
+) -> Set[Tuple[int, int]]:
+    """Centralized equivalent of :func:`run_traceback` (used by the reference engine)."""
+    edges: Set[Tuple[int, int]] = set()
+    for initiator, targets in requests.items():
+        for target in targets:
+            if target == initiator or target not in exploration.known[initiator]:
+                continue
+            path = exploration.trace_path(initiator, target)
+            for a, b in zip(path, path[1:]):
+                edges.add(normalize_edge(a, b))
+    return edges
+
+
+def centralized_forest_markup(
+    forest: ForestResult,
+    targets: Iterable[int],
+) -> Set[Tuple[int, int]]:
+    """Centralized equivalent of :func:`run_forest_path_markup`."""
+    edges: Set[Tuple[int, int]] = set()
+    for target in targets:
+        path = forest.tree_path_to_root(target)
+        for a, b in zip(path, path[1:]):
+            edges.add(normalize_edge(a, b))
+    return edges

@@ -1,0 +1,86 @@
+"""Tests for the theoretical bound calculators (Tables 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    beta_abp17,
+    beta_elkin05,
+    beta_elkin_neiman,
+    beta_elkin_peleg,
+    beta_elkin_peleg_lower_bound,
+    beta_new,
+    beta_pettie09,
+    beta_pettie10,
+    beta_thorup_zwick,
+    deterministic_congest_speedup,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestBetaFormulas:
+    def test_all_betas_positive(self):
+        for fn in (beta_elkin_peleg, beta_abp17, beta_thorup_zwick):
+            assert fn(0.5, 4) > 0
+        for fn in (beta_elkin05, beta_elkin_neiman, beta_new, beta_pettie10):
+            assert fn(0.5, 4, 0.25) > 0
+        assert beta_pettie09(0.5, 1000) > 0
+        assert beta_elkin_peleg_lower_bound(0.5, 8) > 0
+
+    def test_betas_decrease_in_epsilon(self):
+        for eps_small, eps_big in [(0.1, 0.5)]:
+            assert beta_elkin_peleg(eps_small, 8) > beta_elkin_peleg(eps_big, 8)
+            assert beta_new(eps_small, 8, 0.25) > beta_new(eps_big, 8, 0.25)
+            assert beta_elkin_neiman(eps_small, 8, 0.25) > beta_elkin_neiman(eps_big, 8, 0.25)
+
+    def test_lower_bound_below_upper_bound(self):
+        for kappa in (4, 8, 16, 64):
+            assert beta_elkin_peleg_lower_bound(0.5, kappa) <= beta_elkin_peleg(0.5, kappa)
+
+    def test_new_beta_eventually_beats_elkin05(self):
+        """The paper's point: the new additive term scales much better in kappa."""
+        assert beta_new(0.5, 512, 0.25) < beta_elkin05(0.5, 512, 0.25)
+
+    def test_new_beta_same_ballpark_as_en17(self):
+        """beta_new and beta_EN have the same exponent structure (log kappa + 1/rho)."""
+        import math
+
+        ratio = math.log(beta_new(0.5, 32, 0.25)) / math.log(beta_elkin_neiman(0.5, 32, 0.25))
+        assert 0.5 < ratio < 3.0
+
+
+class TestTables:
+    def test_table1_structure(self):
+        rows = table1_rows(0.5, 3, 1 / 3, 1000)
+        assert len(rows) == 2
+        assert rows[0].deterministic and rows[1].deterministic
+        assert all(row.model == "CONGEST" for row in rows)
+        assert rows[0].running_time == pytest.approx(1000 ** (1 + 1 / 6))
+
+    def test_table2_has_fourteen_rows(self):
+        rows = table2_rows(0.5, 3, 1 / 3, 1000)
+        assert len(rows) == 14
+        references = [row.reference for row in rows]
+        assert any("EN17" in r for r in references)
+        assert any("New" in r for r in references)
+        assert any("EP01" in r for r in references)
+
+    def test_table2_models_are_known(self):
+        for row in table2_rows(0.5, 4, 0.3, 500):
+            assert row.model in ("centralized", "LOCAL", "CONGEST")
+
+    def test_table2_row_to_dict(self):
+        row = table2_rows(0.5, 3, 1 / 3, 100)[0]
+        data = row.to_dict()
+        assert set(data) >= {"reference", "model", "deterministic", "stretch_additive", "size"}
+
+    def test_speedup_grows_with_n(self):
+        small = deterministic_congest_speedup(0.5, 3, 1 / 3, 10 ** 4)
+        large = deterministic_congest_speedup(0.5, 3, 1 / 3, 10 ** 8)
+        assert large > small
+
+    def test_default_m_used_when_omitted(self):
+        rows = table2_rows(0.5, 3, 1 / 3, 400)
+        assert rows[0].running_time is not None

@@ -1,0 +1,54 @@
+"""Tests for the table/series renderers."""
+
+from __future__ import annotations
+
+from repro.analysis import format_value, render_markdown_table, render_series, render_table
+
+
+def test_format_value_variants():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(0.0) == "0"
+    assert format_value(float("inf")) == "inf"
+    assert format_value(1234567.0) == "1.23e+06"
+    assert format_value(0.25) == "0.25"
+    assert format_value("text") == "text"
+
+
+def test_render_table_alignment_and_header():
+    rows = [{"name": "a", "value": 1}, {"name": "bbbb", "value": 23}]
+    text = render_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 2 + 1 + len(rows)
+
+
+def test_render_table_empty():
+    assert "(no rows)" in render_table([])
+    assert render_table([], title="t").startswith("t")
+
+
+def test_render_table_respects_column_selection():
+    rows = [{"a": 1, "b": 2}]
+    text = render_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_render_markdown_table():
+    rows = [{"x": 1, "y": 2.5}]
+    text = render_markdown_table(rows)
+    assert text.splitlines()[0] == "| x | y |"
+    assert "---" in text.splitlines()[1]
+    assert "2.5" in text.splitlines()[2]
+
+
+def test_render_markdown_empty():
+    assert render_markdown_table([]) == "(no rows)"
+
+
+def test_render_series():
+    text = render_series({"rounds": [1.0, 2.0, 4.0]}, x_label="n", title="scaling")
+    assert "scaling" in text
+    assert "rounds (n)" in text

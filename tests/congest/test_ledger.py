@@ -1,0 +1,62 @@
+"""Unit tests for the round/message ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import RoundLedger
+
+
+def test_empty_ledger_totals():
+    ledger = RoundLedger()
+    assert ledger.nominal_rounds == 0
+    assert ledger.simulated_rounds == 0
+    assert ledger.messages == 0
+    assert ledger.max_edge_congestion == 0
+
+
+def test_charge_accumulates():
+    ledger = RoundLedger()
+    ledger.charge("a", nominal_rounds=10, simulated_rounds=3, messages=5, words=9, max_edge_congestion=1)
+    ledger.charge("b", nominal_rounds=7, simulated_rounds=7, messages=2, words=2, max_edge_congestion=2)
+    assert ledger.nominal_rounds == 17
+    assert ledger.simulated_rounds == 10
+    assert ledger.messages == 7
+    assert ledger.words == 11
+    assert ledger.max_edge_congestion == 2
+
+
+def test_negative_rounds_rejected():
+    ledger = RoundLedger()
+    with pytest.raises(ValueError):
+        ledger.charge("bad", nominal_rounds=-1)
+
+
+def test_by_label_groups():
+    ledger = RoundLedger()
+    ledger.charge("phase0:explore", nominal_rounds=4)
+    ledger.charge("phase0:explore", nominal_rounds=6)
+    ledger.charge("phase0:ruling", nominal_rounds=3)
+    assert ledger.by_label() == {"phase0:explore": 10, "phase0:ruling": 3}
+
+
+def test_merge():
+    a = RoundLedger()
+    a.charge("x", nominal_rounds=1)
+    b = RoundLedger()
+    b.charge("y", nominal_rounds=2)
+    a.merge(b)
+    assert a.nominal_rounds == 3
+    assert len(a.charges) == 2
+
+
+def test_summary_keys():
+    ledger = RoundLedger()
+    ledger.charge("x", nominal_rounds=5, simulated_rounds=2, messages=3, words=4, max_edge_congestion=1)
+    summary = ledger.summary()
+    assert summary["nominal_rounds"] == 5
+    assert summary["simulated_rounds"] == 2
+    assert summary["messages"] == 3
+    assert summary["words"] == 4
+    assert summary["max_edge_congestion"] == 1
+    assert summary["num_charges"] == 1

@@ -1,0 +1,43 @@
+"""Unit tests for CONGEST messages and word counting."""
+
+from __future__ import annotations
+
+from repro.congest import Message, count_words
+
+
+def test_word_count_flat():
+    assert count_words(("tag", 3, 7)) == 3
+
+
+def test_word_count_nested():
+    assert count_words(("tag", (1, 2), 5)) == 4
+
+
+def test_word_count_empty():
+    assert count_words(()) == 0
+
+
+def test_message_counts_words_automatically():
+    msg = Message(sender=2, content=("explore", 5, 1))
+    assert msg.words == 3
+    assert msg.sender == 2
+
+
+def test_message_tag():
+    assert Message(0, ("forest", 1, 2)).tag == "forest"
+    assert Message(0, ()).tag is None
+
+
+def test_message_repr_mentions_sender_and_content():
+    text = repr(Message(4, ("x", 1)))
+    assert "4" in text and "x" in text
+
+
+def test_message_is_frozen():
+    msg = Message(0, ("a",))
+    try:
+        msg.sender = 3  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,177 @@
+"""Unit tests for the synchronous CONGEST simulator."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.congest import (
+    CongestionViolation,
+    Message,
+    NodeContext,
+    NodeProgram,
+    ProtocolError,
+    RecordingTracer,
+    RoundLimitExceeded,
+    Simulator,
+)
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+
+
+class FloodOnce(NodeProgram):
+    """Source announces once; everyone forwards the first time they hear it."""
+
+    def __init__(self, node_id: int, is_source: bool) -> None:
+        self.node_id = node_id
+        self.is_source = is_source
+        self.heard_at = 0 if is_source else None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.is_source:
+            ctx.broadcast("flood")
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        if self.heard_at is None and any(m.content[0] == "flood" for m in inbox):
+            self.heard_at = ctx.round_index
+            ctx.broadcast("flood")
+
+    def result(self):
+        return self.heard_at
+
+
+class ChattyProgram(NodeProgram):
+    """Deliberately violates the per-edge bandwidth by sending two messages per round."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_start(self, ctx: NodeContext) -> None:
+        for _ in range(2):
+            for neighbor in ctx.neighbors:
+                ctx.send(neighbor, "spam")
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        return None
+
+
+class NeverIdle(NodeProgram):
+    """Claims it always has work, so the protocol cannot quiesce."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        return None
+
+    def is_idle(self) -> bool:
+        return False
+
+
+class TestBasicExecution:
+    def test_flood_reaches_everyone_in_distance_rounds(self):
+        graph = path_graph(6)
+        sim = Simulator(graph)
+        programs = [FloodOnce(v, v == 0) for v in range(6)]
+        run = sim.run_protocol(programs, label="flood")
+        assert run.results == [0, 1, 2, 3, 4, 5]
+        # 5 rounds to reach the far end plus one final round delivering the
+        # last vertex's (ignored) echo.
+        assert run.rounds_executed == 6
+
+    def test_flood_on_star_terminates_quickly(self):
+        graph = star_graph(5)
+        sim = Simulator(graph)
+        programs = [FloodOnce(v, v == 1) for v in range(6)]
+        run = sim.run_protocol(programs)
+        assert run.rounds_executed == 3
+        assert run.results[0] == 1
+
+    def test_messages_counted(self):
+        graph = cycle_graph(4)
+        sim = Simulator(graph)
+        programs = [FloodOnce(v, v == 0) for v in range(4)]
+        run = sim.run_protocol(programs)
+        assert run.messages_delivered >= 4
+        assert run.words_delivered == run.messages_delivered  # single-word payloads
+
+    def test_isolated_vertices_do_not_block_termination(self):
+        graph = Graph(3, [(0, 1)])
+        sim = Simulator(graph)
+        programs = [FloodOnce(v, v == 0) for v in range(3)]
+        run = sim.run_protocol(programs)
+        assert run.results[2] is None
+
+    def test_no_source_protocol_terminates_immediately(self):
+        graph = path_graph(4)
+        sim = Simulator(graph)
+        programs = [FloodOnce(v, False) for v in range(4)]
+        run = sim.run_protocol(programs)
+        assert run.rounds_executed == 0
+
+    def test_program_count_must_match(self):
+        sim = Simulator(path_graph(3))
+        with pytest.raises(ProtocolError):
+            sim.run_protocol([FloodOnce(0, True)])
+
+
+class TestCongestionAccounting:
+    def test_strict_mode_raises_on_violation(self):
+        graph = path_graph(3)
+        sim = Simulator(graph, bandwidth_messages=1, strict_congestion=True)
+        with pytest.raises(CongestionViolation):
+            sim.run_protocol([ChattyProgram(v) for v in range(3)])
+
+    def test_lenient_mode_records_violations(self):
+        graph = path_graph(3)
+        sim = Simulator(graph, bandwidth_messages=1, strict_congestion=False)
+        run = sim.run_protocol([ChattyProgram(v) for v in range(3)])
+        assert run.violated_congestion
+        assert run.max_edge_congestion == 2
+
+    def test_larger_bandwidth_allows_batch(self):
+        graph = path_graph(3)
+        sim = Simulator(graph, bandwidth_messages=2)
+        run = sim.run_protocol([ChattyProgram(v) for v in range(3)])
+        assert not run.violated_congestion
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Simulator(path_graph(2), bandwidth_messages=0)
+
+    def test_flood_has_unit_congestion(self):
+        graph = cycle_graph(6)
+        sim = Simulator(graph)
+        run = sim.run_protocol([FloodOnce(v, v == 0) for v in range(6)])
+        assert run.max_edge_congestion == 1
+
+
+class TestTerminationAndLedger:
+    def test_round_limit_enforced(self):
+        graph = path_graph(2)
+        sim = Simulator(graph)
+        with pytest.raises(RoundLimitExceeded):
+            sim.run_protocol([NeverIdle(v) for v in range(2)], max_rounds=5)
+
+    def test_ledger_records_nominal_rounds(self):
+        graph = path_graph(5)
+        sim = Simulator(graph)
+        sim.run_protocol([FloodOnce(v, v == 0) for v in range(5)], label="flood", nominal_rounds=100)
+        assert sim.ledger.nominal_rounds == 100
+        assert sim.ledger.simulated_rounds == 5
+        assert sim.ledger.charges[0].label == "flood"
+
+    def test_ledger_defaults_to_executed_rounds(self):
+        graph = path_graph(5)
+        sim = Simulator(graph)
+        sim.run_protocol([FloodOnce(v, v == 0) for v in range(5)])
+        assert sim.ledger.nominal_rounds == 5
+
+    def test_tracer_sees_every_round(self):
+        tracer = RecordingTracer()
+        graph = path_graph(6)
+        sim = Simulator(graph, tracer=tracer)
+        sim.run_protocol([FloodOnce(v, v == 0) for v in range(6)])
+        assert tracer.rounds_seen == 6
+        assert tracer.total_messages > 0
+        assert tracer.busiest_round()[1] >= 1

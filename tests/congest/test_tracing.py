@@ -1,0 +1,52 @@
+"""Unit tests for simulator tracers and errors."""
+
+from __future__ import annotations
+
+from repro.congest import (
+    CongestionViolation,
+    InvalidDestination,
+    MessageTooLarge,
+    NullTracer,
+    RecordingTracer,
+    RoundLimitExceeded,
+)
+
+
+def test_null_tracer_ignores_events():
+    tracer = NullTracer()
+    assert tracer.on_round(1, 5) is None
+
+
+def test_recording_tracer_accumulates():
+    tracer = RecordingTracer()
+    tracer.on_round(1, 3)
+    tracer.on_round(2, 10)
+    tracer.on_round(3, 1)
+    assert tracer.rounds_seen == 3
+    assert tracer.total_messages == 14
+    assert tracer.busiest_round() == (2, 10)
+
+
+def test_recording_tracer_empty_busiest():
+    assert RecordingTracer().busiest_round() == (0, 0)
+
+
+def test_congestion_violation_message():
+    error = CongestionViolation(round_index=3, sender=1, receiver=2, attempted=4, allowed=1)
+    assert "round 3" in str(error)
+    assert error.attempted == 4
+
+
+def test_message_too_large_fields():
+    error = MessageTooLarge(words=9, allowed=4)
+    assert error.words == 9 and error.allowed == 4
+
+
+def test_invalid_destination_fields():
+    error = InvalidDestination(sender=0, receiver=7)
+    assert "7" in str(error)
+
+
+def test_round_limit_exceeded_fields():
+    error = RoundLimitExceeded(max_rounds=10)
+    assert error.max_rounds == 10

@@ -1,0 +1,63 @@
+"""Tests for the edge-provenance certificate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
+
+
+def test_record_counts_new_edges_only():
+    cert = SpannerCertificate()
+    assert cert.record([(0, 1), (1, 2)], phase=0, step=SUPERCLUSTERING_STEP) == 2
+    assert cert.record([(1, 0), (2, 3)], phase=1, step=INTERCONNECTION_STEP) == 1
+    assert len(cert) == 3
+
+
+def test_first_provenance_wins():
+    cert = SpannerCertificate()
+    cert.record([(0, 1)], phase=0, step=SUPERCLUSTERING_STEP)
+    cert.record([(0, 1)], phase=2, step=INTERCONNECTION_STEP)
+    assert cert.provenance[(0, 1)].phase == 0
+    assert cert.provenance[(0, 1)].step == SUPERCLUSTERING_STEP
+
+
+def test_unknown_step_rejected():
+    cert = SpannerCertificate()
+    with pytest.raises(ValueError):
+        cert.record([(0, 1)], phase=0, step="bogus")
+
+
+def test_edges_are_normalized():
+    cert = SpannerCertificate()
+    cert.record([(5, 2)], phase=0, step=INTERCONNECTION_STEP)
+    assert (2, 5) in cert
+    assert (5, 2) in cert
+    assert cert.edges() == [(2, 5)]
+
+
+def test_edges_for_phase_and_step():
+    cert = SpannerCertificate()
+    cert.record([(0, 1)], phase=0, step=SUPERCLUSTERING_STEP)
+    cert.record([(1, 2), (2, 3)], phase=1, step=INTERCONNECTION_STEP)
+    assert cert.edges_for_phase(1) == [(1, 2), (2, 3)]
+    assert cert.edges_for_step(SUPERCLUSTERING_STEP) == [(0, 1)]
+
+
+def test_count_by_phase_and_step():
+    cert = SpannerCertificate()
+    cert.record([(0, 1), (1, 2)], phase=0, step=SUPERCLUSTERING_STEP)
+    cert.record([(3, 4)], phase=0, step=INTERCONNECTION_STEP)
+    counts = cert.count_by_phase_and_step()
+    assert counts[(0, SUPERCLUSTERING_STEP)] == 2
+    assert counts[(0, INTERCONNECTION_STEP)] == 1
+
+
+def test_summary_totals():
+    cert = SpannerCertificate()
+    cert.record([(0, 1)], phase=0, step=SUPERCLUSTERING_STEP)
+    cert.record([(1, 2), (2, 3)], phase=1, step=INTERCONNECTION_STEP)
+    summary = cert.summary()
+    assert summary["superclustering"] == 1
+    assert summary["interconnection"] == 2
+    assert summary["total"] == 3

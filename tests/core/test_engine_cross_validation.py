@@ -1,0 +1,72 @@
+"""Cross-validation: the distributed engine agrees with the centralized one.
+
+The two engines share the phase logic but exchange information very
+differently (message passing with truncation vs. global knowledge); the paper
+guarantees they agree on all *structural* quantities -- popular sets, ruling
+sets, cluster collections -- and both must satisfy the same guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_spanner
+from repro.graphs import cycle_graph, gnp_random_graph, grid_graph, planted_partition_graph
+
+GRAPHS = {
+    "gnp": gnp_random_graph(40, 0.1, seed=7),
+    "grid": grid_graph(6, 6),
+    "cycle": cycle_graph(15),
+    "planted": planted_partition_graph(4, 8, 0.6, 0.04, seed=4),
+}
+
+
+@pytest.fixture(params=sorted(GRAPHS.keys()))
+def graph(request):
+    return GRAPHS[request.param]
+
+
+@pytest.fixture
+def both_results(graph, default_params):
+    centralized = build_spanner(graph, parameters=default_params, engine="centralized")
+    distributed = build_spanner(graph, parameters=default_params, engine="distributed")
+    return centralized, distributed
+
+
+def test_popular_sets_match(both_results):
+    centralized, distributed = both_results
+    for rc, rd in zip(centralized.phase_records, distributed.phase_records):
+        assert rc.popular_centers == rd.popular_centers
+
+
+def test_ruling_sets_match(both_results):
+    centralized, distributed = both_results
+    for rc, rd in zip(centralized.phase_records, distributed.phase_records):
+        assert rc.ruling_set == rd.ruling_set
+
+
+def test_cluster_collections_match(both_results):
+    centralized, distributed = both_results
+    assert len(centralized.cluster_history) == len(distributed.cluster_history)
+    for pc, pd in zip(centralized.cluster_history, distributed.cluster_history):
+        assert pc.centers() == pd.centers()
+        assert pc.vertex_to_center() == pd.vertex_to_center()
+
+
+def test_unclustered_collections_match(both_results):
+    centralized, distributed = both_results
+    for uc, ud in zip(centralized.unclustered_history, distributed.unclustered_history):
+        assert uc.centers() == ud.centers()
+
+
+def test_interconnection_pairs_match(both_results):
+    centralized, distributed = both_results
+    for rc, rd in zip(centralized.phase_records, distributed.phase_records):
+        assert sorted(rc.interconnection_pairs) == sorted(rd.interconnection_pairs)
+
+
+def test_edge_counts_are_close(both_results):
+    """Both engines add shortest paths for the same pairs; tie-breaking may differ slightly."""
+    centralized, distributed = both_results
+    assert centralized.num_edges <= distributed.num_edges * 1.5 + 5
+    assert distributed.num_edges <= centralized.num_edges * 1.5 + 5

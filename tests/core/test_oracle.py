@@ -1,0 +1,73 @@
+"""Tests for the spanner-backed approximate distance oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SpannerDistanceOracle
+from repro.graphs import INFINITY, Graph, clustered_path_graph, gnp_random_graph, pairwise_distance
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = clustered_path_graph(6, 8)
+    return SpannerDistanceOracle(graph, epsilon=0.5, kappa=3, rho=1 / 3)
+
+
+def test_distance_respects_guarantee(oracle):
+    guarantee = oracle.guarantee
+    for u, v in [(0, 47), (0, 1), (3, 40), (10, 30)]:
+        exact = pairwise_distance(oracle.graph, u, v)
+        approx = oracle.distance(u, v)
+        assert approx >= exact
+        assert approx <= guarantee.multiplicative * exact + guarantee.additive + 1e-9
+
+
+def test_distances_from_matches_single_queries(oracle):
+    vector = oracle.distances_from(0)
+    assert vector[5] == oracle.distance(0, 5)
+    assert len(vector) == oracle.graph.num_vertices
+
+
+def test_path_is_valid_and_matches_distance(oracle):
+    path = oracle.path(0, 47)
+    assert path[0] == 0 and path[-1] == 47
+    for a, b in zip(path, path[1:]):
+        assert oracle.spanner.has_edge(a, b)
+    assert len(path) - 1 == oracle.distance(0, 47)
+
+
+def test_disconnected_pairs():
+    graph = Graph(4, [(0, 1), (2, 3)])
+    oracle = SpannerDistanceOracle(graph)
+    assert oracle.distance(0, 3) == INFINITY
+    assert oracle.path(0, 3) is None
+    assert oracle.error_bound(0, 3) == 0.0
+
+
+def test_error_bound_dominates_actual_error(oracle):
+    for u, v in [(0, 47), (4, 44)]:
+        exact = pairwise_distance(oracle.graph, u, v)
+        assert oracle.distance(u, v) - exact <= oracle.error_bound(u, v) + 1e-9
+
+
+def test_compression_and_edge_count(oracle):
+    assert 0 < oracle.compression_ratio() <= 1.0
+    assert oracle.num_spanner_edges == oracle.spanner.num_edges
+
+
+def test_source_caching_returns_same_answers():
+    graph = gnp_random_graph(40, 0.1, seed=3)
+    cached = SpannerDistanceOracle(graph, cache_sources=True)
+    uncached = SpannerDistanceOracle(graph, cache_sources=False)
+    for v in (1, 7, 20):
+        assert cached.distance(0, v) == cached.distance(0, v)
+        assert cached.distance(0, v) == uncached.distance(0, v)
+
+
+def test_distributed_engine_oracle():
+    graph = gnp_random_graph(30, 0.12, seed=4)
+    oracle = SpannerDistanceOracle(graph, engine="distributed")
+    exact = pairwise_distance(graph, 0, 15)
+    if exact != INFINITY:
+        assert oracle.distance(0, 15) >= exact

@@ -1,0 +1,233 @@
+"""Tests for the parameter schedules (Section 2.1 / 2.4.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    CONCLUDING_STAGE,
+    EXPONENTIAL_STAGE,
+    FIXED_STAGE,
+    SpannerParameters,
+    StretchGuarantee,
+    guarantee_from_schedules,
+)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.kappa == 3
+
+    def test_kappa_must_be_integer(self):
+        with pytest.raises(TypeError):
+            SpannerParameters(epsilon=0.25, kappa=3.5, rho=0.4)  # type: ignore[arg-type]
+
+    def test_kappa_lower_bound(self):
+        with pytest.raises(ValueError):
+            SpannerParameters(epsilon=0.25, kappa=1, rho=0.5)
+
+    def test_epsilon_range(self):
+        with pytest.raises(ValueError):
+            SpannerParameters(epsilon=0.0, kappa=3, rho=0.4)
+        with pytest.raises(ValueError):
+            SpannerParameters(epsilon=1.5, kappa=3, rho=0.4)
+
+    def test_rho_lower_bound_is_one_over_kappa(self):
+        with pytest.raises(ValueError):
+            SpannerParameters(epsilon=0.5, kappa=3, rho=0.2)
+        SpannerParameters(epsilon=0.5, kappa=3, rho=1 / 3)  # boundary is allowed
+
+    def test_rho_upper_bound(self):
+        with pytest.raises(ValueError):
+            SpannerParameters(epsilon=0.5, kappa=4, rho=0.6)
+
+
+class TestPhaseStructure:
+    def test_phase_count_matches_paper_formula(self):
+        # ell = floor(log2(kappa*rho)) + ceil((kappa+1)/(kappa*rho)) - 1
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.i0 == 0
+        assert params.ell == 3
+        assert params.num_phases == 4
+        assert params.i1 == 2
+
+    def test_phase_count_kappa2(self):
+        params = SpannerParameters(epsilon=0.5, kappa=2, rho=0.5)
+        assert params.i0 == 0
+        assert params.ell == 2
+
+    def test_phase_count_large_kappa(self):
+        params = SpannerParameters(epsilon=0.5, kappa=8, rho=0.5)
+        assert params.i0 == 2
+        assert params.ell == 2 + math.ceil(9 / 4) - 1
+
+    def test_stage_assignment(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.stage(0) == EXPONENTIAL_STAGE
+        assert params.stage(1) == FIXED_STAGE
+        assert params.stage(params.i1) == FIXED_STAGE
+        assert params.stage(params.ell) == CONCLUDING_STAGE
+
+    def test_stage_out_of_range(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        with pytest.raises(ValueError):
+            params.stage(params.ell + 1)
+
+    def test_domination_multiplier(self):
+        assert SpannerParameters(0.5, 3, 1 / 3).domination_multiplier == 3
+        assert SpannerParameters(0.5, 2, 0.5).domination_multiplier == 2
+        assert SpannerParameters(0.5, 5, 0.3).domination_multiplier == 4
+
+
+class TestSchedules:
+    def test_radius_bounds_recurrence(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        radii = params.radius_bounds()
+        c = params.domination_multiplier
+        assert radii[0] == 0
+        for i in range(params.ell):
+            delta_i = params.delta(i)
+            assert radii[i + 1] == 2 * c * delta_i + radii[i]
+
+    def test_delta_formula(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        radii = params.radius_bounds()
+        for i in params.phases():
+            assert params.delta(i) == math.ceil(0.25 ** (-i) - 1e-9) + 2 * radii[i]
+
+    def test_delta_zero_is_one(self):
+        params = SpannerParameters(epsilon=0.07, kappa=4, rho=0.3)
+        assert params.delta(0) == 1
+
+    def test_radii_strictly_increase(self):
+        params = SpannerParameters(epsilon=0.25, kappa=4, rho=0.3)
+        radii = params.radius_bounds()
+        assert all(a < b for a, b in zip(radii, radii[1:]))
+
+    def test_three_r_j_below_r_i(self):
+        """The 3*R_j <= R_i premise of Lemma 2.15 must hold for j < i."""
+        params = SpannerParameters(epsilon=0.3, kappa=5, rho=0.25)
+        radii = params.radius_bounds()
+        for i in range(1, len(radii)):
+            for j in range(i):
+                assert 3 * radii[j] <= radii[i]
+
+    def test_delta_exceeds_twice_radius(self):
+        params = SpannerParameters(epsilon=0.2, kappa=4, rho=0.3)
+        for i in params.phases():
+            assert params.delta(i) >= 2 * params.radius_bound(i) + 1
+
+    def test_ruling_q_and_superclustering_depth(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        for i in range(params.ell):
+            assert params.ruling_set_q(i) == 2 * params.delta(i)
+            assert params.superclustering_depth(i) == params.domination_multiplier * 2 * params.delta(i)
+
+
+class TestDegreeThresholds:
+    def test_exponential_stage_growth(self):
+        params = SpannerParameters(epsilon=0.25, kappa=8, rho=0.5)
+        n = 10_000
+        for i in range(params.i0 + 1):
+            assert params.degree_threshold(i, n) == math.ceil(n ** (2 ** i / 8) - 1e-9)
+
+    def test_fixed_stage_is_n_to_rho(self):
+        params = SpannerParameters(epsilon=0.25, kappa=8, rho=0.5)
+        n = 10_000
+        for i in range(params.i0 + 1, params.ell + 1):
+            assert params.degree_threshold(i, n) == math.ceil(n ** 0.5 - 1e-9)
+
+    def test_all_thresholds_at_most_n_rho(self):
+        params = SpannerParameters(epsilon=0.25, kappa=6, rho=0.4)
+        n = 5000
+        cap = math.ceil(n ** 0.4)
+        assert all(d <= cap for d in params.degree_thresholds(n))
+
+    def test_trivial_graph_threshold(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.degree_threshold(0, 1) == 1
+        assert params.degree_threshold(0, 0) == 1
+
+
+class TestGuarantee:
+    def test_guarantee_from_schedules_base_case(self):
+        guarantee = guarantee_from_schedules([0], [1])
+        assert guarantee.multiplicative == 1.0
+        assert guarantee.additive == 0.0
+
+    def test_guarantee_from_schedules_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            guarantee_from_schedules([0, 1], [1])
+
+    def test_guarantee_recurrence(self):
+        radii = [0, 2, 10]
+        deltas = [1, 6, 30]
+        guarantee = guarantee_from_schedules(radii, deltas)
+        b1 = 6 * 2 + 0
+        a1 = b1 / (6 - 4)
+        b2 = 6 * 10 + 2 * b1
+        a2 = a1 + b2 / (30 - 20)
+        assert guarantee.additive == pytest.approx(b2)
+        assert guarantee.multiplicative == pytest.approx(1 + a2)
+
+    def test_smaller_epsilon_gives_smaller_multiplicative(self):
+        big = SpannerParameters(epsilon=0.5, kappa=3, rho=1 / 3).stretch_bound()
+        small = SpannerParameters(epsilon=0.05, kappa=3, rho=1 / 3).stretch_bound()
+        assert small.multiplicative < big.multiplicative
+
+    def test_from_user_epsilon_meets_target(self):
+        for target in (0.25, 0.5, 1.0):
+            params = SpannerParameters.from_user_epsilon(target, kappa=3, rho=1 / 3)
+            assert params.stretch_bound().multiplicative <= 1 + target + 1e-6
+            assert params.user_epsilon == target
+
+    def test_from_user_epsilon_validates(self):
+        with pytest.raises(ValueError):
+            SpannerParameters.from_user_epsilon(0.0, kappa=3, rho=1 / 3)
+
+    def test_guarantee_allows(self):
+        guarantee = StretchGuarantee(multiplicative=1.5, additive=4.0)
+        assert guarantee.allows(10, 19)
+        assert not guarantee.allows(10, 19.5)
+
+    def test_paper_beta_is_epsilon_to_minus_ell(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.paper_beta() == pytest.approx(0.25 ** (-3))
+
+    def test_beta_shortcut(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.beta() == params.stretch_bound().additive
+
+
+class TestResourceBoundsAndReporting:
+    def test_size_bound_monotone_in_n(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.size_bound(200) < params.size_bound(400)
+
+    def test_round_bound_monotone_in_n(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        assert params.round_bound(200) < params.round_bound(400)
+
+    def test_describe_contains_key_fields(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        info = params.describe(100)
+        for key in ("ell", "radius_bounds", "deltas", "degree_thresholds", "size_bound", "round_bound"):
+            assert key in info
+        assert len(info["radius_bounds"]) == params.num_phases
+
+    def test_describe_without_n_omits_resource_bounds(self):
+        info = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3).describe()
+        assert "size_bound" not in info
+
+    def test_segment_length_positive(self):
+        params = SpannerParameters(epsilon=0.9, kappa=3, rho=1 / 3)
+        for i in params.phases():
+            assert params.segment_length(i) >= 1
+
+    def test_parameters_are_frozen(self):
+        params = SpannerParameters(epsilon=0.25, kappa=3, rho=1 / 3)
+        with pytest.raises(AttributeError):
+            params.epsilon = 0.5  # type: ignore[misc]

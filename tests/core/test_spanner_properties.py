@@ -1,0 +1,79 @@
+"""Property-based (hypothesis) tests of the end-to-end spanner construction."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import evaluate_stretch
+from repro.core import SpannerParameters, build_spanner
+from repro.graphs import gnp_random_graph
+
+parameter_strategy = st.sampled_from(
+    [
+        SpannerParameters.from_internal_epsilon(0.25, kappa=3, rho=1 / 3),
+        SpannerParameters.from_internal_epsilon(0.5, kappa=2, rho=0.5),
+        SpannerParameters.from_internal_epsilon(0.34, kappa=4, rho=0.3),
+    ]
+)
+
+graph_strategy = st.builds(
+    gnp_random_graph,
+    num_vertices=st.integers(min_value=2, max_value=36),
+    edge_probability=st.floats(min_value=0.0, max_value=0.45),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graph_strategy, parameters=parameter_strategy)
+def test_spanner_is_subgraph_with_guaranteed_stretch(graph, parameters):
+    result = build_spanner(graph, parameters=parameters)
+    assert result.spanner.is_subgraph_of(graph)
+    stretch = evaluate_stretch(graph, result.spanner, guarantee=parameters.stretch_bound())
+    assert stretch.satisfies_guarantee
+    assert stretch.disconnected_mismatches == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graph_strategy, parameters=parameter_strategy)
+def test_unclustered_history_partitions_vertices(graph, parameters):
+    result = build_spanner(graph, parameters=parameters)
+    assert result.unclustered_partitions_vertices()
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graph_strategy, parameters=parameter_strategy)
+def test_cluster_radii_and_counts_respect_bounds(graph, parameters):
+    result = build_spanner(graph, parameters=parameters)
+    bounds = parameters.radius_bounds()
+    n = max(1, graph.num_vertices)
+    for i, collection in enumerate(result.cluster_history):
+        if len(collection):
+            assert collection.max_radius_in(result.spanner) <= bounds[i]
+    for record in result.phase_records:
+        i = record.index
+        if i <= parameters.i0 + 1:
+            bound = n ** (1.0 - (2 ** i - 1) / parameters.kappa)
+        else:
+            bound = n ** (1.0 + 1.0 / parameters.kappa - (i - parameters.i0) * parameters.rho)
+        assert record.num_clusters <= bound * (1 + 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=st.builds(
+        gnp_random_graph,
+        num_vertices=st.integers(min_value=2, max_value=22),
+        edge_probability=st.floats(min_value=0.0, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=2_000),
+    ),
+    parameters=parameter_strategy,
+)
+def test_distributed_engine_properties(graph, parameters):
+    result = build_spanner(graph, parameters=parameters, engine="distributed")
+    assert result.spanner.is_subgraph_of(graph)
+    assert result.ledger is not None
+    assert result.ledger.max_edge_congestion <= 1
+    stretch = evaluate_stretch(graph, result.spanner, guarantee=parameters.stretch_bound())
+    assert stretch.satisfies_guarantee

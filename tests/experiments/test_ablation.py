@@ -1,0 +1,33 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_epsilon_ablation, run_kappa_ablation, run_rho_ablation
+from repro.graphs import planted_partition_graph
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return planted_partition_graph(5, 8, 0.6, 0.03, seed=1)
+
+
+def test_epsilon_ablation_checks_pass(small_workload):
+    record = run_epsilon_ablation(epsilons=(0.1, 0.3, 0.9), graph=small_workload, sample_pairs=60)
+    assert record.all_checks_passed, record.checks
+    assert len(record.rows) == 3
+    betas = record.series["beta"]
+    assert betas[0] >= betas[-1]
+
+
+def test_rho_ablation_checks_pass(small_workload):
+    record = run_rho_ablation(rhos=(1 / 3, 0.5), graph=small_workload, sample_pairs=60)
+    assert record.all_checks_passed, record.checks
+    assert all("round_bound" in row for row in record.rows)
+
+
+def test_kappa_ablation_checks_pass(small_workload):
+    record = run_kappa_ablation(kappas=(2, 3), graph=small_workload, sample_pairs=60)
+    assert record.all_checks_passed, record.checks
+    assert [row["kappa"] for row in record.rows] == [2, 3]

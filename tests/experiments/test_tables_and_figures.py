@@ -1,0 +1,64 @@
+"""Integration tests for the table/figure experiment modules (small instances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    build_result,
+    default_parameters,
+    run_all_figures,
+    run_scaling,
+    run_table1,
+    run_table2,
+)
+from repro.graphs import planted_partition_graph
+
+
+@pytest.fixture(scope="module")
+def figure_result():
+    graph = planted_partition_graph(6, 10, 0.6, 0.03, seed=5)
+    return build_result(graph, default_parameters(), engine="centralized")
+
+
+class TestTableExperiments:
+    def test_table1_shape_checks_pass(self):
+        record = run_table1(sizes=(60, 120), sample_pairs=60)
+        assert record.all_checks_passed, record.checks
+        assert any(row.get("kind") == "theory" for row in record.rows)
+        assert any(row.get("kind") == "measured" for row in record.rows)
+        assert len(record.series["rounds-new"]) == 2
+
+    def test_table2_shape_checks_pass(self):
+        record = run_table2(n=80, sample_pairs=60, include_distributed=False, include_greedy=True)
+        assert record.all_checks_passed, record.checks
+        theory = [row for row in record.rows if row.get("kind") == "theory"]
+        assert len(theory) == 14
+
+    def test_scaling_checks_pass(self):
+        record = run_scaling(sizes=(60, 120, 240), sample_pairs=50)
+        assert record.all_checks_passed, record.checks
+        assert record.parameters["rounds-exponent"] < 1.0
+
+
+class TestFigureExperiments:
+    @pytest.mark.parametrize("name", sorted(ALL_FIGURES.keys()))
+    def test_every_figure_check_passes(self, name, figure_result):
+        record = ALL_FIGURES[name](figure_result)
+        assert record.all_checks_passed, (name, record.checks)
+
+    def test_run_all_figures_returns_all(self):
+        graph = planted_partition_graph(4, 8, 0.6, 0.05, seed=8)
+        records = run_all_figures(graph)
+        assert set(records.keys()) == set(ALL_FIGURES.keys())
+        assert all(record.all_checks_passed for record in records.values())
+
+    def test_figure1_reports_popular_clusters(self, figure_result):
+        record = ALL_FIGURES["figure1"](figure_result)
+        assert any(row["popular"] > 0 for row in record.rows)
+
+    def test_figure7_reports_pairs(self, figure_result):
+        record = ALL_FIGURES["figure7"](figure_result)
+        assert record.parameters["pairs_checked"] > 0
+        assert record.rows

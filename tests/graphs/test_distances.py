@@ -1,0 +1,114 @@
+"""Unit tests for exact / sampled distance computations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    INFINITY,
+    Graph,
+    all_pairs_distances,
+    average_distance,
+    cycle_graph,
+    diameter,
+    distance_histogram,
+    eccentricity,
+    grid_graph,
+    pairwise_distance,
+    path_graph,
+    radius,
+    sample_vertex_pairs,
+    single_source_distances,
+)
+
+
+class TestSingleSource:
+    def test_dense_vector(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        vec = single_source_distances(g, 0)
+        assert vec == [0.0, 1.0, 2.0, INFINITY]
+
+    def test_pairwise_distance(self, cycle_8):
+        assert pairwise_distance(cycle_8, 0, 4) == 4
+        assert pairwise_distance(cycle_8, 0, 7) == 1
+
+    def test_pairwise_disconnected(self):
+        g = Graph(3, [(0, 1)])
+        assert pairwise_distance(g, 0, 2) == INFINITY
+
+
+class TestAllPairs:
+    def test_matrix_symmetry(self, grid_5x5):
+        matrix = all_pairs_distances(grid_5x5)
+        for u in range(25):
+            assert matrix[u][u] == 0
+            for v in range(25):
+                assert matrix[u][v] == matrix[v][u]
+
+    def test_matrix_matches_manhattan_distance_on_grid(self):
+        g = grid_graph(3, 3)
+        matrix = all_pairs_distances(g)
+        assert matrix[0][8] == 4
+        assert matrix[0][2] == 2
+
+    def test_triangle_inequality(self, small_random):
+        matrix = all_pairs_distances(small_random)
+        n = small_random.num_vertices
+        for u in range(0, n, 7):
+            for v in range(0, n, 5):
+                for w in range(0, n, 11):
+                    if matrix[u][v] != INFINITY and matrix[v][w] != INFINITY:
+                        assert matrix[u][w] <= matrix[u][v] + matrix[v][w]
+
+
+class TestGlobalMeasures:
+    def test_path_diameter_and_radius(self):
+        g = path_graph(7)
+        assert diameter(g) == 6
+        assert radius(g) == 3
+
+    def test_cycle_eccentricity(self):
+        g = cycle_graph(8)
+        assert eccentricity(g, 0) == 4
+        assert diameter(g) == 4
+
+    def test_diameter_of_disconnected_graph_is_per_component(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert diameter(g) == 2
+
+    def test_empty_graph_measures(self):
+        assert diameter(Graph(0)) == 0
+        assert radius(Graph(0)) == 0
+
+    def test_average_distance_on_triangle(self, triangle):
+        assert average_distance(triangle) == 1.0
+
+    def test_average_distance_with_explicit_pairs(self, path_6):
+        assert average_distance(path_6, pairs=[(0, 5), (0, 1)]) == 3.0
+
+
+class TestSampling:
+    def test_sampled_pairs_are_distinct_and_in_range(self):
+        pairs = sample_vertex_pairs(30, 50, seed=1)
+        assert len(pairs) == 50
+        assert len(set(pairs)) == 50
+        for u, v in pairs:
+            assert 0 <= u < v < 30
+
+    def test_sampling_is_deterministic(self):
+        assert sample_vertex_pairs(50, 20, seed=3) == sample_vertex_pairs(50, 20, seed=3)
+        assert sample_vertex_pairs(50, 20, seed=3) != sample_vertex_pairs(50, 20, seed=4)
+
+    def test_sampling_caps_at_total_pairs(self):
+        pairs = sample_vertex_pairs(4, 100, seed=0)
+        assert len(pairs) == 6
+
+    def test_sampling_degenerate_cases(self):
+        assert sample_vertex_pairs(1, 10) == []
+        assert sample_vertex_pairs(10, 0) == []
+
+    def test_distance_histogram(self, path_6):
+        histogram = distance_histogram(path_6)
+        assert histogram[1] == 5
+        assert histogram[5] == 1
+        assert 0 not in histogram

@@ -1,0 +1,194 @@
+"""Unit tests for the graph generators / workload families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    WORKLOAD_FAMILIES,
+    balanced_tree,
+    barbell_graph,
+    caterpillar_graph,
+    clustered_path_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    empty_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    lollipop_graph,
+    make_workload,
+    path_graph,
+    planted_partition_graph,
+    preferential_attachment_graph,
+    random_connected_graph,
+    random_regular_like_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.generators import add_random_perturbation, disjoint_union
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_empty_graph(self):
+        assert empty_graph(7).num_edges == 0
+
+    def test_path_and_cycle(self):
+        assert path_graph(10).num_edges == 9
+        assert cycle_graph(10).num_edges == 10
+        assert cycle_graph(2).num_edges == 1  # degrades to a path
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.num_edges == 5
+        assert g.degree(0) == 5
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert g.degree(0) == 4
+        assert g.degree(3) == 3
+
+    def test_grid_dimensions(self):
+        g = grid_graph(4, 6)
+        assert g.num_vertices == 24
+        assert g.num_edges == 4 * 5 + 6 * 3
+        assert diameter(g) == 3 + 5
+
+    def test_torus_is_regular(self):
+        g = torus_graph(4, 4)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert diameter(g) == 4
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_balanced_tree_rejects_zero_branching(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2)
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(5, 2)
+        assert g.num_vertices == 15
+        assert g.num_edges == 4 + 10
+        assert is_connected(g)
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        assert g.num_vertices == 11
+        assert is_connected(g)
+        assert diameter(g) == 1 + 4 + 1
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 5)
+        assert g.num_vertices == 9
+        assert is_connected(g)
+
+    def test_clustered_path(self):
+        g = clustered_path_graph(4, 5)
+        assert g.num_vertices == 20
+        assert is_connected(g)
+        # diameter: within-cluster 1, plus 3 bridges plus intra hops
+        assert diameter(g) >= 4
+
+
+class TestRandomFamilies:
+    def test_gnp_reproducible(self):
+        assert gnp_random_graph(30, 0.2, seed=5) == gnp_random_graph(30, 0.2, seed=5)
+        assert gnp_random_graph(30, 0.2, seed=5) != gnp_random_graph(30, 0.2, seed=6)
+
+    def test_gnp_extreme_probabilities(self):
+        assert gnp_random_graph(10, 0.0, seed=0).num_edges == 0
+        assert gnp_random_graph(10, 1.0, seed=0).num_edges == 45
+
+    def test_gnp_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(10, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(25, 60, seed=2)
+        assert g.num_edges == 60
+
+    def test_gnm_rejects_impossible_edge_count(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 10)
+
+    def test_random_connected_is_connected(self):
+        for seed in range(3):
+            g = random_connected_graph(40, 30, seed=seed)
+            assert is_connected(g)
+
+    def test_random_tree_has_n_minus_1_edges(self):
+        g = random_tree(25, seed=9)
+        assert g.num_edges == 24
+        assert is_connected(g)
+
+    def test_regular_like_degree_bounded(self):
+        g = random_regular_like_graph(30, 4, seed=1)
+        assert g.max_degree() <= 4
+        assert g.num_edges > 0
+
+    def test_planted_partition_structure(self):
+        g = planted_partition_graph(4, 10, 1.0, 0.0, seed=0)
+        # p_intra=1, p_inter=0: four disjoint cliques
+        assert g.num_edges == 4 * 45
+        from repro.graphs import num_components
+
+        assert num_components(g) == 4
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment_graph(40, 2, seed=3)
+        assert is_connected(g)
+        assert g.num_edges >= 39
+
+    def test_preferential_attachment_rejects_zero_m(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, 0)
+
+
+class TestCombinators:
+    def test_disjoint_union(self):
+        g = disjoint_union([path_graph(3), cycle_graph(4)])
+        assert g.num_vertices == 7
+        assert g.num_edges == 2 + 4
+        assert not g.has_edge(2, 3)
+
+    def test_add_random_perturbation(self):
+        base = path_graph(20)
+        perturbed = add_random_perturbation(base, 5, seed=1)
+        assert perturbed.num_edges == base.num_edges + 5
+        assert base.is_subgraph_of(perturbed)
+
+
+class TestWorkloadFactory:
+    @pytest.mark.parametrize("family", WORKLOAD_FAMILIES)
+    def test_every_family_builds(self, family):
+        g = make_workload(family, 48, seed=3)
+        assert g.num_vertices > 0
+        # no self-loops / duplicates by construction
+        assert all(u != v for u, v in g.edges())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("no-such-family", 10)
+
+    def test_workload_respects_seed(self):
+        assert make_workload("gnp", 40, seed=1) == make_workload("gnp", 40, seed=1)

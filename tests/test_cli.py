@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_argument_parser, main
+from repro.graphs import gnp_random_graph, read_edge_list, write_edge_list
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_argument_parser().parse_args([])
+
+
+def test_build_generated_workload(capsys):
+    exit_code = main(["build", "--family", "gnp", "--size", "60", "--seed", "1", "--internal", "--epsilon", "0.25"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "spanner:" in output
+    assert "per-phase statistics" in output
+
+
+def test_build_with_verification(capsys):
+    exit_code = main(
+        ["build", "--family", "planted", "--size", "60", "--verify", "--internal", "--epsilon", "0.25", "--sample-pairs", "50"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "all passed" in output
+    assert "guarantee satisfied: True" in output
+
+
+def test_build_from_file_and_write_output(tmp_path, capsys):
+    graph = gnp_random_graph(40, 0.1, seed=2)
+    input_path = tmp_path / "in.txt"
+    output_path = tmp_path / "out.txt"
+    write_edge_list(graph, input_path)
+    exit_code = main(["build", "--input", str(input_path), "--output", str(output_path), "--internal", "--epsilon", "0.25"])
+    assert exit_code == 0
+    spanner = read_edge_list(output_path)
+    assert spanner.is_subgraph_of(graph)
+
+
+def test_params_command_outputs_json(capsys):
+    exit_code = main(["params", "--epsilon", "0.25", "--kappa", "3", "--rho", "0.34", "--internal", "--size", "500"])
+    assert exit_code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["kappa"] == 3
+    assert "radius_bounds" in data
+    assert "round_bound" in data
+
+
+def test_experiment_unknown_name(capsys):
+    assert main(["experiment", "no-such-experiment"]) == 2
+
+
+def test_experiment_figure_runs_and_saves_json(tmp_path, capsys):
+    out = tmp_path / "fig1.json"
+    exit_code = main(["experiment", "figure1", "--json", str(out)])
+    assert exit_code == 0
+    data = json.loads(out.read_text())
+    assert data["name"] == "figure1-superclustering"
+    assert all(data["checks"].values())
