@@ -10,6 +10,7 @@ def test_epsilon_ablation(benchmark):
     print()
     print(record.render())
     assert record.all_checks_passed, record.checks
+    benchmark.extra_info["settings"] = len(record.rows)
 
 
 def test_rho_ablation(benchmark):
@@ -17,6 +18,7 @@ def test_rho_ablation(benchmark):
     print()
     print(record.render())
     assert record.all_checks_passed, record.checks
+    benchmark.extra_info["settings"] = len(record.rows)
 
 
 def test_kappa_ablation(benchmark):
@@ -24,3 +26,4 @@ def test_kappa_ablation(benchmark):
     print()
     print(record.render())
     assert record.all_checks_passed, record.checks
+    benchmark.extra_info["settings"] = len(record.rows)

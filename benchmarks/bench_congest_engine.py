@@ -25,3 +25,8 @@ def test_engine_wall_clock(benchmark, engine_graph, engine):
     result = benchmark(lambda: build_spanner(engine_graph, parameters=parameters, engine=engine))
     assert result.num_edges > 0
     assert result.unclustered_partitions_vertices()
+    benchmark.extra_info["nominal_rounds"] = result.nominal_rounds
+    benchmark.extra_info["spanner_edges"] = result.num_edges
+    if result.ledger is not None:
+        benchmark.extra_info["messages"] = result.ledger.messages
+        benchmark.extra_info["simulated_rounds"] = result.ledger.simulated_rounds

@@ -14,3 +14,5 @@ def test_figure1_superclustering(benchmark, figure_result):
     # The planted-community workload must actually exercise superclustering.
     assert any(row["popular"] > 0 for row in record.rows)
     assert any(row["superclustered"] > 0 for row in record.rows)
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["phases"] = len(record.rows)

@@ -14,3 +14,5 @@ def test_figure2_bfs_trees(benchmark, figure_result):
     # Radii must respect the R_i bounds on every phase with clusters.
     for row in record.rows:
         assert row["max_radius_measured"] <= row["radius_bound_R_i"]
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["phases"] = len(record.rows)

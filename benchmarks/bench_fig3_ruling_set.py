@@ -16,3 +16,5 @@ def test_figure3_ruling_set(benchmark, figure_result):
         assert row["neighbourhood_overlaps"] == 0
         if row["min_separation"] is not None:
             assert row["min_separation"] >= row["required_separation"]
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["phases"] = len(record.rows)

@@ -14,3 +14,5 @@ def test_figure4_forest_paths(benchmark, figure_result):
     assert record.rows, "the workload must produce at least one superclustering phase"
     for row in record.rows:
         assert row["max_root_to_center_distance_in_H"] <= row["depth_bound"]
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["phases"] = len(record.rows)

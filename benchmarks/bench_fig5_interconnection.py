@@ -14,3 +14,5 @@ def test_figure5_interconnection(benchmark, figure_result):
     for row in record.rows:
         if row["max_paths_per_center"]:
             assert row["max_paths_per_center"] < row["deg_i_budget"]
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["phases"] = len(record.rows)

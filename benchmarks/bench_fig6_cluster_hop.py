@@ -13,3 +13,5 @@ def test_figure6_cluster_hop(benchmark, figure_result):
     assert not failed, f"Figure 6 checks failed: {failed}"
     for row in record.rows:
         assert row["max_measured"] <= row["bound"]
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["pairs_bucketed"] = len(record.rows)

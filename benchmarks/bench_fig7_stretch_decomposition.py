@@ -16,3 +16,5 @@ def test_figure7_stretch_decomposition(benchmark, figure_result):
     assert record.parameters["pairs_checked"] > 0
     for row in record.rows:
         assert row["max_additive_surplus"] <= row["allowed_surplus"] + 1e-9
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["pairs_checked"] = record.parameters["pairs_checked"]

@@ -15,3 +15,5 @@ def test_figure8_segment_argument(benchmark, figure_result):
     assert not failed, f"Figure 8 checks failed: {failed}"
     for row in record.rows:
         assert row["max_surplus"] <= row["per-segment-allowance"] + 1e-9
+    benchmark.extra_info["nominal_rounds"] = figure_result.nominal_rounds
+    benchmark.extra_info["segments_bucketed"] = len(record.rows)

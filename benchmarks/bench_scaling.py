@@ -16,3 +16,5 @@ def test_scaling_rounds_and_size(benchmark):
     failed = [name for name, ok in record.checks.items() if not ok]
     assert not failed, f"Scaling shape checks failed: {failed}"
     assert record.parameters["rounds-exponent"] < 1.0
+    benchmark.extra_info["rounds_exponent"] = record.parameters["rounds-exponent"]
+    benchmark.extra_info["sizes"] = len(record.rows)

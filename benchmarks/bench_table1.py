@@ -25,6 +25,11 @@ def test_table1_reproduction(benchmark):
     print(record.render())
     failed = [name for name, ok in record.checks.items() if not ok]
     assert not failed, f"Table 1 shape checks failed: {failed}"
+    measured = [row for row in record.rows if row.get("kind") == "measured"]
+    benchmark.extra_info["measured_rows"] = len(measured)
+    benchmark.extra_info["max_rounds"] = max(
+        (row.get("rounds") or 0 for row in measured), default=0
+    )
 
 
 def test_table1_theory_rows_have_both_algorithms():

@@ -24,6 +24,11 @@ def test_table2_reproduction(benchmark):
     assert not failed, f"Table 2 shape checks failed: {failed}"
     theory_rows = [row for row in record.rows if row.get("kind") == "theory"]
     assert len(theory_rows) == 14, "Table 2 has 14 survey rows"
+    measured = [row for row in record.rows if row.get("kind") == "measured"]
+    benchmark.extra_info["measured_rows"] = len(measured)
+    benchmark.extra_info["max_rounds"] = max(
+        (row.get("rounds") or 0 for row in measured), default=0
+    )
 
 
 def test_table2_measured_rows_cover_implemented_algorithms():

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.parameters import StretchGuarantee
-from ..graphs.distances import INFINITY, sample_vertex_pairs, single_source_distances
+from ..graphs.distances import INFINITY, sample_vertex_pairs
 from ..graphs.graph import Graph
 
 
@@ -112,35 +112,53 @@ def evaluate_stretch(
     disconnected = 0
     surplus_by_distance: Dict[int, float] = {}
 
+    # The host-graph (and spanner) BFS sweeps go through the per-graph
+    # distance caches, so repeated verification passes over the same build --
+    # guarantee checks, sampled evaluation, additive-term fitting, histograms
+    # -- each pay for every source's sweep at most once.
+    graph_cache = graph.distance_cache()
+    spanner_cache = spanner.distance_cache()
+
+    inf = INFINITY
+    if guarantee is not None:
+        mult_bound = guarantee.multiplicative
+        add_bound = guarantee.additive
     for source in sorted(grouped.keys()):
         targets = grouped[source]
         if not targets:
             continue
-        dist_graph = single_source_distances(graph, source)
-        dist_spanner = single_source_distances(spanner, source)
+        dist_graph = graph_cache.vector(source)
+        dist_spanner = spanner_cache.vector(source)
         for v in targets:
             dg = dist_graph[v]
             dh = dist_spanner[v]
-            if dg == INFINITY:
-                if dh != INFINITY:
+            if dg == inf:
+                if dh != inf:
                     # A spanner is a subgraph, so this cannot happen; flag it.
                     disconnected += 1
                 continue
-            if dh == INFINITY:
+            if dh == inf:
                 disconnected += 1
                 continue
             checked += 1
-            pair = PairStretch(source, v, dg, dh)
-            max_mult = max(max_mult, pair.multiplicative_ratio)
-            max_add = max(max_add, pair.additive_surplus)
-            sum_mult += pair.multiplicative_ratio
-            sum_add += pair.additive_surplus
+            # Inline PairStretch's derived quantities; the object itself is
+            # only materialized for violations (the rare case).
+            surplus = dh - dg
+            ratio = dh / dg if dg else 1.0
+            if ratio > max_mult:
+                max_mult = ratio
+            if surplus > max_add:
+                max_add = surplus
+            sum_mult += ratio
+            sum_add += surplus
             bucket = int(dg)
-            surplus_by_distance[bucket] = max(
-                surplus_by_distance.get(bucket, 0.0), pair.additive_surplus
-            )
-            if guarantee is not None and not guarantee.allows(dg, dh, slack=slack):
-                violations.append(pair)
+            prev = surplus_by_distance.get(bucket)
+            if prev is None:
+                surplus_by_distance[bucket] = surplus if surplus > 0.0 else 0.0
+            elif surplus > prev:
+                surplus_by_distance[bucket] = surplus
+            if guarantee is not None and not dh <= mult_bound * dg + add_bound + slack:
+                violations.append(PairStretch(source, v, dg, dh))
 
     return StretchReport(
         pairs_checked=checked,
@@ -189,9 +207,11 @@ def empirical_additive_term(
     """Measure the empirical additive term at a fixed multiplicative slack."""
     grouped = _iter_pair_sources(graph, pairs)
     best = 0.0
+    graph_cache = graph.distance_cache()
+    spanner_cache = spanner.distance_cache()
     for source in sorted(grouped.keys()):
-        dist_graph = single_source_distances(graph, source)
-        dist_spanner = single_source_distances(spanner, source)
+        dist_graph = graph_cache.vector(source)
+        dist_spanner = spanner_cache.vector(source)
         for v in grouped[source]:
             dg, dh = dist_graph[v], dist_spanner[v]
             if dg == INFINITY or dh == INFINITY:

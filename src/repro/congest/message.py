@@ -7,8 +7,7 @@ word count so protocols can be audited against the model's bandwidth limit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, NamedTuple, Tuple
 
 
 def count_words(content: Tuple[Any, ...]) -> int:
@@ -18,18 +17,21 @@ def count_words(content: Tuple[Any, ...]) -> int:
     are counted recursively.  This is intentionally conservative: anything
     unusual counts as one word per element.
     """
-    words = 0
+    words = len(content)
     for item in content:
         if isinstance(item, tuple):
-            words += count_words(item)
-        else:
-            words += 1
+            words += count_words(item) - 1
     return words
 
 
-@dataclass(frozen=True)
-class Message:
-    """A single CONGEST message.
+class _MessageBase(NamedTuple):
+    sender: int
+    content: Tuple[Any, ...]
+    words: int
+
+
+class Message(_MessageBase):
+    """A single CONGEST message (immutable; millions are created per run).
 
     Attributes
     ----------
@@ -39,16 +41,16 @@ class Message:
         The payload: a tuple whose first element is conventionally a string
         tag identifying the protocol step (e.g. ``("explore", center, dist)``).
     words:
-        Number of machine words the payload occupies (computed automatically).
+        Number of machine words the payload occupies (computed automatically
+        when not supplied).
     """
 
-    sender: int
-    content: Tuple[Any, ...]
-    words: int = field(default=0)
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.words == 0:
-            object.__setattr__(self, "words", count_words(self.content))
+    def __new__(cls, sender: int, content: Tuple[Any, ...], words: int = 0) -> "Message":
+        if words == 0:
+            words = count_words(content)
+        return _MessageBase.__new__(cls, sender, content, words)
 
     @property
     def tag(self) -> Any:

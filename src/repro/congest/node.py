@@ -13,6 +13,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .errors import InvalidDestination, MessageTooLarge
 from .message import Message, count_words
 
+# Message is a NamedTuple; with the word count in hand its constructor logic
+# is a no-op, so the send hot paths go through tuple.__new__ directly.
+_new_message = tuple.__new__
+
+# Outbox sentinel destination meaning "every neighbour" (vertex ids are >= 0).
+# A broadcast queues one sentinel entry instead of one pair per neighbour;
+# the simulator (and drain_outbox) expand it at delivery time.
+BROADCAST_DEST = -1
+
 
 class NodeContext:
     """Per-node, per-round view of the network handed to a :class:`NodeProgram`.
@@ -22,38 +31,81 @@ class NodeContext:
     simulator drains the outbox at the end of the round.
     """
 
-    __slots__ = ("node_id", "neighbors", "round_index", "_outbox", "_max_words")
+    __slots__ = (
+        "node_id",
+        "neighbors",
+        "round_index",
+        "_outbox",
+        "_max_words",
+        "_neighbor_set",
+        "_dup_possible",
+    )
 
     def __init__(self, node_id: int, neighbors: Sequence[int], max_words_per_message: int) -> None:
         self.node_id = node_id
         self.neighbors = tuple(sorted(neighbors))
+        self._neighbor_set = frozenset(self.neighbors)
         self.round_index = 0
         self._outbox: List[Tuple[int, Message]] = []
         self._max_words = max_words_per_message
+        # Whether this round's outbox might carry two messages over one edge.
+        # A single send or a single broadcast cannot (broadcast destinations
+        # are distinct by construction), so the congestion audit can skip its
+        # per-edge counting unless a second queueing happens in one round.
+        self._dup_possible = False
 
     def send(self, neighbor: int, *content: Any) -> None:
         """Queue a message with payload ``content`` to ``neighbor`` for this round."""
-        if neighbor not in self.neighbors:
+        if neighbor not in self._neighbor_set:
             raise InvalidDestination(self.node_id, neighbor)
-        words = count_words(tuple(content))
+        words = count_words(content)
         if words > self._max_words:
             raise MessageTooLarge(words, self._max_words)
-        self._outbox.append((neighbor, Message(self.node_id, tuple(content), words)))
+        # The word count is already computed, so skip Message.__new__'s
+        # recount branch and build the tuple directly (hot path).
+        message = _new_message(Message, (self.node_id, content, words))
+        outbox = self._outbox
+        if outbox:
+            self._dup_possible = True
+        outbox.append((neighbor, message))
 
     def broadcast(self, *content: Any) -> None:
-        """Queue the same message to every neighbour."""
-        for neighbor in self.neighbors:
-            self.send(neighbor, *content)
+        """Queue the same message to every neighbour.
+
+        The payload is audited and wrapped once and queued as a single
+        broadcast entry; the simulator expands it to the (distinct, sorted)
+        neighbour list at delivery time, which keeps broadcast-heavy
+        protocols (BFS forests, explorations) off the per-send slow path.
+        """
+        words = count_words(content)
+        if words > self._max_words:
+            raise MessageTooLarge(words, self._max_words)
+        message = _new_message(Message, (self.node_id, content, words))
+        outbox = self._outbox
+        if outbox:
+            self._dup_possible = True
+        outbox.append((BROADCAST_DEST, message))
 
     def drain_outbox(self) -> List[Tuple[int, Message]]:
-        """Return and clear the queued messages (used by the simulator)."""
+        """Return and clear the queued messages, broadcasts expanded per neighbour."""
         outbox, self._outbox = self._outbox, []
-        return outbox
+        self._dup_possible = False
+        expanded: List[Tuple[int, Message]] = []
+        for neighbor, message in outbox:
+            if neighbor == BROADCAST_DEST:
+                for nb in self.neighbors:
+                    expanded.append((nb, message))
+            else:
+                expanded.append((neighbor, message))
+        return expanded
 
     @property
     def pending_sends(self) -> int:
         """Number of messages currently queued for this round."""
-        return len(self._outbox)
+        return sum(
+            len(self.neighbors) if neighbor == BROADCAST_DEST else 1
+            for neighbor, _ in self._outbox
+        )
 
 
 class NodeProgram:

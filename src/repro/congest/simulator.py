@@ -18,13 +18,13 @@ in which nothing at all would happen; protocols report their scheduled
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from .errors import CongestionViolation, ProtocolError, RoundLimitExceeded
 from .ledger import RoundLedger
 from .message import Message
-from .node import NodeContext, NodeProgram
+from .node import BROADCAST_DEST, NodeContext, NodeProgram
 from .tracing import NullTracer, Tracer
 
 DEFAULT_MAX_WORDS_PER_MESSAGE = 4
@@ -85,6 +85,27 @@ class Simulator:
         self.strict_congestion = strict_congestion
         self.tracer = tracer if tracer is not None else NullTracer()
         self.ledger = RoundLedger()
+        # Per-node contexts and inbox buffers are reused across every
+        # run_protocol call (the spanner build runs dozens of sub-protocols
+        # over the same topology); they are rebuilt only if the graph mutates.
+        # ``_dirty`` marks buffers left non-empty by an aborted run.
+        self._contexts: Optional[List[NodeContext]] = None
+        self._inboxes: List[List[Message]] = []
+        self._contexts_version = -1
+        self._dirty = False
+
+    def _node_contexts(self) -> List[NodeContext]:
+        """Shared per-vertex contexts built from the graph's CSR snapshot."""
+        if self._contexts is None or self._contexts_version != self.graph.version:
+            csr = self.graph.csr()
+            rows = csr.rows()
+            max_words = self.max_words_per_message
+            self._contexts = [
+                NodeContext(v, rows[v], max_words) for v in range(self.graph.num_vertices)
+            ]
+            self._inboxes = [[] for _ in range(self.graph.num_vertices)]
+            self._contexts_version = self.graph.version
+        return self._contexts
 
     # ------------------------------------------------------------------
     # Protocol execution
@@ -106,58 +127,104 @@ class Simulator:
         if len(programs) != n:
             raise ProtocolError(f"expected {n} programs, got {len(programs)}")
 
-        contexts = [
-            NodeContext(v, self.graph.neighbors(v), self.max_words_per_message)
-            for v in range(n)
-        ]
+        contexts = self._node_contexts()
+        inboxes = self._inboxes
+        if self._dirty:
+            # A previous run aborted mid-round (congestion violation, round
+            # limit, program error); scrub its leftovers before starting.
+            for v in range(n):
+                ctx = contexts[v]
+                ctx._outbox.clear()
+                ctx._dup_possible = False
+                inboxes[v].clear()
+            self._dirty = False
+
+        try:
+            return self._run_protocol(
+                programs, contexts, inboxes, max_rounds, label, nominal_rounds
+            )
+        except BaseException:
+            self._dirty = True
+            raise
+
+    def _run_protocol(
+        self,
+        programs: Sequence[NodeProgram],
+        contexts: List[NodeContext],
+        inboxes: List[List[Message]],
+        max_rounds: int,
+        label: str,
+        nominal_rounds: Optional[int],
+    ) -> ProtocolRun:
+        """Execute the scheduler loop (buffers are clean on entry and exit)."""
+        n = len(contexts)
 
         # Round 0: on_start may queue messages.
         for v in range(n):
-            contexts[v].round_index = 0
-            programs[v].on_start(contexts[v])
+            ctx = contexts[v]
+            ctx.round_index = 0
+            programs[v].on_start(ctx)
 
-        pending: Dict[int, List[Message]] = {}
         rounds_executed = 0
         messages_delivered = 0
         words_delivered = 0
-        max_congestion = 0
         violations: List[Tuple[int, int, int, int]] = []
+        tracer = self.tracer
+        trace_round = None if type(tracer) is NullTracer else tracer.on_round
 
-        # Collect round-0 sends.
-        pending, round_congestion, round_violations = self._collect_outboxes(
-            contexts, round_index=0
+        # Pre-bound per-node callbacks: the round loop below calls these up to
+        # once per node per round, so avoid rebinding methods every time.
+        on_round_of = [p.on_round for p in programs]
+        is_idle_of = [p.is_idle for p in programs]
+
+        # The scheduler keeps an explicit active set instead of scanning all n
+        # programs every round: ``awake`` tracks exactly the nodes whose
+        # ``is_idle()`` returned false the last time they ran (idleness only
+        # changes when a node runs), and ``receivers`` the nodes with mail.
+        awake = {v for v in range(n) if not is_idle_of[v]()}
+
+        # Collect round-0 sends (any node may have queued in on_start).
+        receivers, in_flight, in_flight_words, max_congestion, violations = self._deliver(
+            contexts, 0, inboxes, range(n)
         )
-        max_congestion = max(max_congestion, round_congestion)
-        violations.extend(round_violations)
 
         round_index = 0
-        while pending or not all(p.is_idle() for p in programs):
+        while receivers or awake:
             if rounds_executed >= max_rounds:
                 raise RoundLimitExceeded(max_rounds)
             round_index += 1
             rounds_executed += 1
-            inboxes = pending
-            pending = {}
-            delivered_now = sum(len(msgs) for msgs in inboxes.values())
-            messages_delivered += delivered_now
-            words_delivered += sum(m.words for msgs in inboxes.values() for m in msgs)
-            self.tracer.on_round(round_index, delivered_now)
+            messages_delivered += in_flight
+            words_delivered += in_flight_words
+            if trace_round is not None:
+                trace_round(round_index, in_flight)
 
-            active = set(inboxes.keys())
-            active.update(v for v in range(n) if not programs[v].is_idle())
-            for v in sorted(active):
-                contexts[v].round_index = round_index
-                programs[v].on_round(contexts[v], inboxes.get(v, []))
+            if awake:
+                active = set(receivers)
+                active.update(awake)
+                ran = sorted(active)
+            else:
+                ran = sorted(receivers)
+            for v in ran:
+                ctx = contexts[v]
+                ctx.round_index = round_index
+                inbox = inboxes[v]
+                on_round_of[v](ctx, inbox)
+                if inbox:
+                    inbox.clear()
+                if is_idle_of[v]():
+                    awake.discard(v)
+                else:
+                    awake.add(v)
 
-            new_pending, round_congestion, round_violations = self._collect_outboxes(
-                contexts, round_index
+            # Only nodes that ran this round can have queued messages.
+            receivers, in_flight, in_flight_words, round_congestion, round_violations = (
+                self._deliver(contexts, round_index, inboxes, ran)
             )
-            max_congestion = max(max_congestion, round_congestion)
-            violations.extend(round_violations)
-            pending = new_pending
-
-            if not pending and all(p.is_idle() for p in programs):
-                break
+            if round_congestion > max_congestion:
+                max_congestion = round_congestion
+            if round_violations:
+                violations.extend(round_violations)
 
         run = ProtocolRun(
             rounds_executed=rounds_executed,
@@ -180,25 +247,95 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _collect_outboxes(
-        self, contexts: List[NodeContext], round_index: int
-    ) -> Tuple[Dict[int, List[Message]], int, List[Tuple[int, int, int, int]]]:
-        """Drain every node's outbox, audit congestion, and build next inboxes."""
-        pending: Dict[int, List[Message]] = {}
-        per_edge: Dict[Tuple[int, int], int] = {}
+    def _deliver(
+        self,
+        contexts: List[NodeContext],
+        round_index: int,
+        inboxes: List[List[Message]],
+        senders: Iterable[int],
+    ) -> Tuple[List[int], int, int, int, List[Tuple[int, int, int, int]]]:
+        """Drain the ``senders``' outboxes into the reusable inbox lists.
+
+        Returns ``(receivers, messages, words, max_congestion, violations)``:
+        the nodes whose inbox is now non-empty (in delivery order), the
+        message and word totals now in flight, the round's max per-edge
+        congestion, and any recorded violations.  ``senders`` must cover
+        every node that ran this round -- only those can have queued
+        messages -- and be in ascending order so the audit trail stays
+        deterministic.  A directed edge ``(sender, receiver)`` only ever
+        carries messages from ``sender``'s outbox, so the bandwidth audit
+        runs per-sender without a global per-edge table.
+        """
+        receivers: List[int] = []
+        add_receiver = receivers.append
         violations: List[Tuple[int, int, int, int]] = []
         max_congestion = 0
-        for ctx in contexts:
-            for neighbor, message in ctx.drain_outbox():
-                key = (ctx.node_id, neighbor)
-                per_edge[key] = per_edge.get(key, 0) + 1
-                pending.setdefault(neighbor, []).append(message)
-        for (sender, receiver), count in per_edge.items():
-            max_congestion = max(max_congestion, count)
-            if count > self.bandwidth_messages:
-                if self.strict_congestion:
-                    raise CongestionViolation(
-                        round_index, sender, receiver, count, self.bandwidth_messages
-                    )
-                violations.append((round_index, sender, receiver, count))
-        return pending, max_congestion, violations
+        messages = 0
+        words = 0
+        bandwidth = self.bandwidth_messages
+        for sender in senders:
+            ctx = contexts[sender]
+            outbox = ctx._outbox
+            if not outbox:
+                continue
+            if not ctx._dup_possible:
+                # Single send or single broadcast: destinations are distinct,
+                # so per-edge congestion is exactly 1 and no audit is needed.
+                neighbor, message = outbox[0]
+                if neighbor == BROADCAST_DEST:
+                    targets = ctx.neighbors
+                    if targets:
+                        messages += len(targets)
+                        words += message.words * len(targets)
+                        for nb in targets:
+                            inbox = inboxes[nb]
+                            if not inbox:
+                                add_receiver(nb)
+                            inbox.append(message)
+                        if max_congestion < 1:
+                            max_congestion = 1
+                else:
+                    messages += 1
+                    words += message.words
+                    inbox = inboxes[neighbor]
+                    if not inbox:
+                        add_receiver(neighbor)
+                    inbox.append(message)
+                    if max_congestion < 1:
+                        max_congestion = 1
+            else:
+                # Multiple queueings in one round: expand broadcasts and audit
+                # per-edge counts (first-occurrence order, grouped by sender,
+                # matching the historical per-edge table's insertion order).
+                ctx._dup_possible = False
+                counts: Dict[int, int] = {}
+                for neighbor, message in outbox:
+                    if neighbor == BROADCAST_DEST:
+                        message_words = message.words
+                        for nb in ctx.neighbors:
+                            messages += 1
+                            words += message_words
+                            inbox = inboxes[nb]
+                            if not inbox:
+                                add_receiver(nb)
+                            inbox.append(message)
+                            counts[nb] = counts.get(nb, 0) + 1
+                    else:
+                        messages += 1
+                        words += message.words
+                        inbox = inboxes[neighbor]
+                        if not inbox:
+                            add_receiver(neighbor)
+                        inbox.append(message)
+                        counts[neighbor] = counts.get(neighbor, 0) + 1
+                for neighbor, count in counts.items():
+                    if count > max_congestion:
+                        max_congestion = count
+                    if count > bandwidth:
+                        if self.strict_congestion:
+                            raise CongestionViolation(
+                                round_index, ctx.node_id, neighbor, count, bandwidth
+                            )
+                        violations.append((round_index, ctx.node_id, neighbor, count))
+            outbox.clear()
+        return receivers, messages, words, max_congestion, violations

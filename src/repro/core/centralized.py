@@ -18,12 +18,15 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..graphs.graph import Graph
-from ..primitives.exploration import centralized_bounded_exploration
+from ..primitives.exploration import centralized_engine_exploration
 from ..primitives.ruling_set import centralized_ruling_set
-from ..primitives.traceback import centralized_traceback
+from ..primitives.traceback import centralized_traceback_flat
 from .certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
 from .clusters import ClusterCollection
-from .interconnection import count_interconnection_paths, interconnection_requests
+from .interconnection import (
+    count_interconnection_paths,
+    interconnection_requests_from_near,
+)
 from .parameters import SpannerParameters
 from .result import PhaseRecord, SpannerResult
 from .superclustering import (
@@ -52,7 +55,7 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
         centers = collection.centers()
         nominal_rounds = 0
 
-        exploration = centralized_bounded_exploration(graph, centers, delta, degree)
+        exploration = centralized_engine_exploration(graph, centers, delta, degree)
         nominal_rounds += exploration.nominal_rounds
         popular = exploration.popular
 
@@ -86,8 +89,10 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
             next_collection = ClusterCollection()
             unclustered = collection
 
-        requests = interconnection_requests(unclustered.centers(), exploration)
-        interconnection_edges_set = centralized_traceback(exploration, requests)
+        requests = interconnection_requests_from_near(
+            unclustered.centers(), exploration.near_centers
+        )
+        interconnection_edges_set = centralized_traceback_flat(exploration, requests)
         interconnection_edges = certificate.record(
             interconnection_edges_set, i, INTERCONNECTION_STEP
         )

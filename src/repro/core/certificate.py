@@ -35,10 +35,14 @@ class SpannerCertificate:
         if step not in (SUPERCLUSTERING_STEP, INTERCONNECTION_STEP):
             raise ValueError(f"unknown step {step!r}")
         new_edges = 0
+        provenance = self.provenance
+        # EdgeProvenance is immutable, so every edge of this batch can share
+        # one instance.
+        origin = EdgeProvenance(phase=phase, step=step)
         for u, v in edges:
-            key = normalize_edge(u, v)
-            if key not in self.provenance:
-                self.provenance[key] = EdgeProvenance(phase=phase, step=step)
+            key = (u, v) if u <= v else (v, u)
+            if key not in provenance:
+                provenance[key] = origin
                 new_edges += 1
         return new_edges
 

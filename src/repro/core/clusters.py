@@ -90,7 +90,14 @@ class ClusterCollection:
     @classmethod
     def singletons(cls, num_vertices: int) -> "ClusterCollection":
         """The phase-0 collection: every vertex is its own cluster."""
-        return cls(Cluster.singleton(v) for v in range(num_vertices))
+        collection = cls()
+        clusters = collection._clusters
+        by_center = collection._by_center
+        for v in range(num_vertices):
+            cluster = Cluster.singleton(v)
+            clusters.append(cluster)
+            by_center[v] = cluster
+        return collection
 
     def add(self, cluster: Cluster) -> None:
         """Add a cluster; centers must be unique within a collection."""

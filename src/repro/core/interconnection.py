@@ -32,6 +32,21 @@ def interconnection_requests(
     return requests
 
 
+def interconnection_requests_from_near(
+    unclustered_centers: Iterable[int],
+    near_centers: Dict[int, List[int]],
+) -> Dict[int, List[int]]:
+    """Flat-array variant of :func:`interconnection_requests`.
+
+    ``near_centers`` maps every center to the sorted list of other centers
+    within ``delta_i`` (a :class:`~repro.primitives.exploration.CenterExploration`
+    field), which is exactly the target list the exhaustive knowledge map
+    would produce.  The lists are shared, not copied -- treat them as
+    read-only.
+    """
+    return {center: near_centers[center] for center in unclustered_centers}
+
+
 def count_interconnection_paths(requests: Dict[int, List[int]]) -> int:
     """Total number of center-to-center paths the step will add."""
     return sum(len(targets) for targets in requests.values())

@@ -126,6 +126,21 @@ class SpannerParameters:
     def __post_init__(self) -> None:
         _validate(self.epsilon, self.kappa, self.rho)
 
+    def _memo(self, key: str, compute) -> object:
+        """Per-instance memo for derived schedules.
+
+        The dataclass is frozen but not slotted, so lazily computed values can
+        ride in ``__dict__`` without affecting equality/hash/repr (those are
+        generated from the declared fields only).  The engines query ``ell``,
+        ``delta(i)`` and the radius schedule hundreds of times per build, so
+        these all become O(1) after first use.
+        """
+        value = self.__dict__.get(key)
+        if value is None:
+            value = compute()
+            object.__setattr__(self, key, value)
+        return value
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
@@ -173,12 +188,20 @@ class SpannerParameters:
     @property
     def i0(self) -> int:
         """Last phase of the exponential growth stage: ``floor(log2(kappa*rho))``."""
-        return int(math.floor(math.log2(self.kappa * self.rho) + 1e-12))
+        return self._memo(
+            "_i0_memo",
+            lambda: int(math.floor(math.log2(self.kappa * self.rho) + 1e-12)),
+        )
 
     @property
     def ell(self) -> int:
         """Index of the concluding phase (paper: ``blog kappa*rho c + ceil((kappa+1)/(kappa*rho)) - 1``)."""
-        return self.i0 + int(math.ceil((self.kappa + 1) / (self.kappa * self.rho) - 1e-12)) - 1
+        return self._memo(
+            "_ell_memo",
+            lambda: self.i0
+            + int(math.ceil((self.kappa + 1) / (self.kappa * self.rho) - 1e-12))
+            - 1,
+        )
 
     @property
     def i1(self) -> int:
@@ -193,7 +216,9 @@ class SpannerParameters:
     @property
     def domination_multiplier(self) -> int:
         """The integer digit count ``c = ceil(1/rho)`` used by the ruling-set procedure."""
-        return int(math.ceil(1.0 / self.rho - 1e-12))
+        return self._memo(
+            "_domination_memo", lambda: int(math.ceil(1.0 / self.rho - 1e-12))
+        )
 
     def stage(self, i: int) -> str:
         """Return which stage phase ``i`` belongs to."""
@@ -223,12 +248,19 @@ class SpannerParameters:
         docstring for why the implementation recurrence differs from the
         paper's eq. (2) by constant factors.
         """
-        c = self.domination_multiplier
-        radii = [0]
-        for i in range(self.ell):
-            delta_i = self._delta_from_radius(i, radii[i])
-            radii.append(2 * c * delta_i + radii[i])
-        return radii
+        return list(self._radius_schedule())
+
+    def _radius_schedule(self) -> List[int]:
+        """Memoized ``[R_0, ..., R_ell]`` (do not mutate the returned list)."""
+        def compute() -> List[int]:
+            c = self.domination_multiplier
+            radii = [0]
+            for i in range(self.ell):
+                delta_i = self._delta_from_radius(i, radii[i])
+                radii.append(2 * c * delta_i + radii[i])
+            return radii
+
+        return self._memo("_radius_memo", compute)
 
     def _delta_from_radius(self, i: int, radius: int) -> int:
         return int(math.ceil(self.epsilon ** (-i) - 1e-9)) + 2 * radius
@@ -236,17 +268,26 @@ class SpannerParameters:
     def radius_bound(self, i: int) -> int:
         """``R_i`` for a single phase."""
         self._check_phase(i)
-        return self.radius_bounds()[i]
+        return self._radius_schedule()[i]
 
     def delta(self, i: int) -> int:
         """Distance threshold ``delta_i = ceil(eps^{-i}) + 2 R_i`` (paper eq. (3), integer form)."""
         self._check_phase(i)
-        return self._delta_from_radius(i, self.radius_bound(i))
+        return self._delta_schedule()[i]
 
     def deltas(self) -> List[int]:
         """All distance thresholds ``[delta_0, ..., delta_ell]``."""
-        radii = self.radius_bounds()
-        return [self._delta_from_radius(i, radii[i]) for i in range(self.num_phases)]
+        return list(self._delta_schedule())
+
+    def _delta_schedule(self) -> List[int]:
+        """Memoized ``[delta_0, ..., delta_ell]`` (do not mutate)."""
+        def compute() -> List[int]:
+            radii = self._radius_schedule()
+            return [
+                self._delta_from_radius(i, radii[i]) for i in range(self.num_phases)
+            ]
+
+        return self._memo("_delta_memo", compute)
 
     def ruling_set_q(self, i: int) -> int:
         """Separation parameter handed to the ruling-set procedure (``2 delta_i``)."""
@@ -295,7 +336,12 @@ class SpannerParameters:
 
         The final guarantee is ``(1 + A_ell, B_ell)``.
         """
-        return guarantee_from_schedules(self.radius_bounds(), self.deltas())
+        return self._memo(
+            "_stretch_memo",
+            lambda: guarantee_from_schedules(
+                self._radius_schedule(), self._delta_schedule()
+            ),
+        )
 
     def beta(self) -> float:
         """The additive term ``beta`` of the stretch guarantee."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..graphs.bfs import multi_source_bfs
+from ..graphs.bfs import _flat_bfs_distances
 from ..graphs.graph import Graph, normalize_edge
 from .clusters import Cluster, ClusterCollection
 
@@ -48,7 +48,7 @@ def deterministic_forest(
     """
     n = graph.num_vertices
     source_list = sorted(set(sources))
-    reach = multi_source_bfs(graph, source_list, max_depth=depth)
+    reach_dist, reach_order = _flat_bfs_distances(graph, source_list, max_depth=depth)
     root: List[Optional[int]] = [None] * n
     dist: List[Optional[int]] = [None] * n
     parent: List[Optional[int]] = [None] * n
@@ -56,24 +56,25 @@ def deterministic_forest(
         root[s] = s
         dist[s] = 0
 
-    by_distance: Dict[int, List[int]] = {}
-    for v in range(n):
-        d = reach.dist[v]
-        if d is not None and d > 0:
-            by_distance.setdefault(d, []).append(v)
-
-    for d in sorted(by_distance.keys()):
-        for v in by_distance[d]:
-            best: Optional[Tuple[int, int]] = None
-            for u in graph.neighbors(v):
-                if dist[u] == d - 1 and root[u] is not None:
-                    candidate = (root[u], u)
-                    if best is None or candidate < best:
-                        best = candidate
-            if best is None:
-                continue
-            root[v], parent[v] = best
-            dist[v] = d
+    rows = graph.csr().rows()
+    # ``reach_order`` lists reached vertices level by level, so by the time a
+    # vertex at distance d is processed every distance-(d-1) vertex already
+    # carries its final (root, parent) label.
+    for v in reach_order:
+        d = reach_dist[v]
+        if d == 0:
+            continue
+        target = d - 1
+        best: Optional[Tuple[int, int]] = None
+        for u in rows[v]:
+            if dist[u] == target and root[u] is not None:
+                candidate = (root[u], u)
+                if best is None or candidate < best:
+                    best = candidate
+        if best is None:
+            continue
+        root[v], parent[v] = best
+        dist[v] = d
     return root, dist, parent
 
 
@@ -82,11 +83,14 @@ def forest_path_edges(
 ) -> Set[Tuple[int, int]]:
     """Union of the forest paths from each target up to its root."""
     edges: Set[Tuple[int, int]] = set()
+    add = edges.add
     for target in targets:
         current = target
-        while parent[current] is not None:
-            edges.add(normalize_edge(current, parent[current]))
-            current = parent[current]
+        nxt = parent[current]
+        while nxt is not None:
+            add((current, nxt) if current <= nxt else (nxt, current))
+            current = nxt
+            nxt = parent[current]
     return edges
 
 

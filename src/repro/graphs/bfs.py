@@ -7,7 +7,6 @@ algorithm and all verification code are built on them.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .graph import Graph
@@ -77,43 +76,92 @@ def multi_source_bfs(
     Ties between sources are broken by BFS order: the first source to reach a
     vertex claims it; among same-round arrivals, the source listed first (and
     then the lower parent ID) wins, which keeps the procedure deterministic.
+
+    The sweep runs over the graph's frozen CSR snapshot (sorted flat-array
+    rows) with dense level-synchronous frontiers, which visits neighbours in
+    exactly the same order as the historical ``sorted(neighbors(u))`` queue
+    implementation while skipping the per-visit sort and set iteration.
     """
     n = graph.num_vertices
     dist: List[Optional[int]] = [None] * n
     parent: List[Optional[int]] = [None] * n
     source_of: List[Optional[int]] = [None] * n
 
-    queue: deque = deque()
+    frontier: List[int] = []
     for s in sources:
         if not 0 <= s < n:
             raise ValueError(f"source {s} is out of range [0, {n})")
         if dist[s] is None:
             dist[s] = 0
             source_of[s] = s
-            queue.append(s)
+            frontier.append(s)
 
-    while queue:
-        u = queue.popleft()
-        d = dist[u]
-        assert d is not None
-        if max_depth is not None and d >= max_depth:
-            continue
-        for v in sorted(graph.neighbors(u)):
-            if dist[v] is None:
-                dist[v] = d + 1
-                parent[v] = u
-                source_of[v] = source_of[u]
-                queue.append(v)
+    rows = graph.csr().rows()
+    depth = 0
+    while frontier:
+        if max_depth is not None and depth >= max_depth:
+            break
+        depth += 1
+        next_frontier: List[int] = []
+        push = next_frontier.append
+        for u in frontier:
+            su = source_of[u]
+            for v in rows[u]:
+                if dist[v] is None:
+                    dist[v] = depth
+                    parent[v] = u
+                    source_of[v] = su
+                    push(v)
+        frontier = next_frontier
 
     return BFSResult(dist, parent, source_of)
+
+
+def _flat_bfs_distances(
+    graph: Graph, sources: Iterable[int], max_depth: Optional[int] = None
+) -> Tuple[List[int], List[int]]:
+    """Dense distance-only (multi-source) BFS kernel over the CSR snapshot.
+
+    Returns ``(dist, order)`` where ``dist[v]`` is an ``int`` distance or
+    ``-1`` for unreached vertices and ``order`` lists the reached vertices in
+    visit order.  This skips all parent/source bookkeeping and is the kernel
+    behind every distance-only query.
+    """
+    n = graph.num_vertices
+    dist = [-1] * n
+    frontier: List[int] = []
+    for s in sources:
+        if not 0 <= s < n:
+            raise ValueError(f"source {s} is out of range [0, {n})")
+        if dist[s] < 0:
+            dist[s] = 0
+            frontier.append(s)
+    order = list(frontier)
+    rows = graph.csr().rows()
+    depth = 0
+    extend = order.extend
+    while frontier:
+        if max_depth is not None and depth >= max_depth:
+            break
+        depth += 1
+        next_frontier: List[int] = []
+        push = next_frontier.append
+        for u in frontier:
+            for v in rows[u]:
+                if dist[v] < 0:
+                    dist[v] = depth
+                    push(v)
+        extend(next_frontier)
+        frontier = next_frontier
+    return dist, order
 
 
 def bfs_distances(
     graph: Graph, source: int, max_depth: Optional[int] = None
 ) -> Dict[int, int]:
-    """Return ``{v: dist(source, v)}`` for all reached vertices."""
-    result = bfs(graph, source, max_depth=max_depth)
-    return {v: d for v, d in enumerate(result.dist) if d is not None}
+    """Return ``{v: dist(source, v)}`` for all reached vertices (ascending ``v``)."""
+    dist, order = _flat_bfs_distances(graph, (source,), max_depth=max_depth)
+    return {v: dist[v] for v in sorted(order)}
 
 
 def bfs_layers(graph: Graph, source: int, max_depth: Optional[int] = None) -> List[List[int]]:

@@ -1,0 +1,130 @@
+"""Frozen compressed-sparse-row (CSR) adjacency snapshots.
+
+A :class:`CSRGraph` is an immutable flat-array view of a :class:`~repro.graphs.graph.Graph`
+taken at a point in time: two ``array('q')`` buffers, ``indptr`` (length
+``n + 1``) and ``adj`` (length ``2m``), with the neighbours of vertex ``v``
+stored sorted in ``adj[indptr[v]:indptr[v + 1]]``.  Every hot path in the
+reproduction -- BFS sweeps, the CONGEST simulator's per-node neighbour
+tables, distance caches -- iterates this snapshot instead of the mutable
+per-vertex ``set`` adjacency.
+
+Snapshot contract: a ``CSRGraph`` never changes.  ``Graph.csr()`` returns a
+cached snapshot and invalidates it on any mutation (``add_edge`` /
+``remove_edge``), so holding on to a snapshot across mutations yields the
+*old* topology by design; re-call ``csr()`` to observe the new one.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .graph import Edge, Graph
+
+
+class CSRGraph:
+    """Immutable CSR adjacency snapshot of an undirected simple graph.
+
+    Attributes
+    ----------
+    indptr:
+        ``array('q')`` of length ``n + 1``; row ``v`` spans
+        ``adj[indptr[v]:indptr[v + 1]]``.
+    adj:
+        ``array('q')`` of length ``2m`` holding all neighbour lists
+        back-to-back, each row sorted ascending.
+    """
+
+    __slots__ = ("indptr", "adj", "_n", "_m", "_rows")
+
+    def __init__(self, indptr: array, adj: array) -> None:
+        if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(adj):
+            raise ValueError("malformed CSR: indptr must start at 0 and end at len(adj)")
+        self.indptr = indptr
+        self.adj = adj
+        self._n = len(indptr) - 1
+        self._m = len(adj) // 2
+        # Per-row tuples are the fastest pure-Python iteration surface; they
+        # are materialized lazily because not every consumer needs them.
+        self._rows: List[Tuple[int, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: "Graph") -> "CSRGraph":
+        """Snapshot ``graph``'s current adjacency into flat arrays."""
+        n = graph.num_vertices
+        indptr = array("q", bytes(8 * (n + 1)))
+        adj = array("q")
+        extend = adj.extend
+        adjacency = graph._adj
+        for v in range(n):
+            extend(sorted(adjacency[v]))
+            indptr[v + 1] = len(adj)
+        return cls(indptr, adj)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return self.indptr[v + 1] - self.indptr[v]
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbours of ``v`` as an immutable tuple."""
+        return self.rows()[v]
+
+    def rows(self) -> List[Tuple[int, ...]]:
+        """All neighbour rows as a list of sorted tuples (built once, cached).
+
+        This is the iteration surface the BFS kernels use: indexing a list of
+        tuples is measurably faster in CPython than slicing the flat array on
+        every visit, while the flat ``indptr``/``adj`` pair remains the
+        canonical storage.
+        """
+        if not self._rows and self._n:
+            indptr, adj = self.indptr, self.adj
+            tup = tuple
+            self._rows = [
+                tup(adj[indptr[v] : indptr[v + 1]]) for v in range(self._n)
+            ]
+        return self._rows
+
+    def edges(self) -> Iterator["Edge"]:
+        """Iterate all undirected edges in canonical ``(min, max)`` form."""
+        indptr, adj = self.indptr, self.adj
+        for u in range(self._n):
+            for i in range(indptr[u], indptr[u + 1]):
+                v = adj[i]
+                if u < v:
+                    yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search in ``u``'s sorted row."""
+        indptr, adj = self.indptr, self.adj
+        lo, hi = indptr[u], indptr[u + 1]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            w = adj[mid]
+            if w == v:
+                return True
+            if w < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        return False
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self._n}, m={self._m})"

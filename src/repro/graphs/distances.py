@@ -17,11 +17,80 @@ INFINITY: float = float("inf")
 
 
 def single_source_distances(graph: Graph, source: int) -> List[float]:
-    """Return a dense distance vector from ``source`` (``inf`` if unreachable)."""
-    dist = [INFINITY] * graph.num_vertices
-    for v, d in bfs_distances(graph, source).items():
-        dist[v] = float(d)
+    """Return a dense distance vector from ``source`` (``inf`` if unreachable).
+
+    This is the distance-only hot path: a level-synchronous sweep over the
+    graph's CSR snapshot writing straight into the dense float vector, with no
+    intermediate dict and no parent bookkeeping.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} is out of range [0, {n})")
+    inf = INFINITY
+    dist = [inf] * n
+    dist[source] = 0.0
+    rows = graph.csr().rows()
+    frontier = [source]
+    depth = 0.0
+    while frontier:
+        depth += 1.0
+        next_frontier: List[int] = []
+        push = next_frontier.append
+        for u in frontier:
+            for v in rows[u]:
+                if dist[v] is inf:
+                    dist[v] = depth
+                    push(v)
+        frontier = next_frontier
     return dist
+
+
+class DistanceCache:
+    """Memoized single-source BFS distance vectors over one graph.
+
+    The cache is keyed by source vertex and guarded by the graph's mutation
+    :attr:`~repro.graphs.graph.Graph.version`: any edge change clears it, so a
+    cached vector is always consistent with the current topology.  Vectors are
+    returned *by reference* for speed -- callers must treat them as read-only.
+
+    Obtain the shared per-graph instance through ``graph.distance_cache()``;
+    all analyses that sweep BFS over the same host graph (stretch guarantee
+    checks, sampled stretch evaluation, additive-term fitting, distance
+    histograms) then share one sweep per source.
+    """
+
+    __slots__ = ("_graph", "_version", "_vectors")
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._version = graph.version
+        self._vectors: Dict[int, List[float]] = {}
+
+    @property
+    def graph(self) -> Graph:
+        """The graph this cache serves."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def clear(self) -> None:
+        """Drop all memoized vectors (e.g. to benchmark cold-cache paths)."""
+        self._vectors.clear()
+
+    def vector(self, source: int) -> List[float]:
+        """Dense distance vector from ``source`` (read-only; memoized)."""
+        if self._version != self._graph.version:
+            self._vectors.clear()
+            self._version = self._graph.version
+        vec = self._vectors.get(source)
+        if vec is None:
+            vec = self._vectors[source] = single_source_distances(self._graph, source)
+        return vec
+
+    def distance(self, u: int, v: int) -> float:
+        """Exact ``u``-``v`` distance through the cache."""
+        return self.vector(u)[v]
 
 
 def all_pairs_distances(graph: Graph) -> List[List[float]]:
@@ -115,6 +184,16 @@ def sample_vertex_pairs(
     if distinct:
         max_pairs = num_vertices * (num_vertices - 1) // 2
         num_pairs = min(num_pairs, max_pairs)
+        if 2 * num_pairs >= max_pairs:
+            # Dense request: rejection sampling would thrash as the pool of
+            # unseen pairs empties, so shuffle the enumerated pair space.
+            universe = [
+                (u, v)
+                for u in range(num_vertices - 1)
+                for v in range(u + 1, num_vertices)
+            ]
+            rng.shuffle(universe)
+            return universe[:num_pairs]
         seen = set()
         pairs: List[Tuple[int, int]] = []
         while len(pairs) < num_pairs:
@@ -135,15 +214,28 @@ def sample_vertex_pairs(
 
 
 def distance_histogram(graph: Graph, max_sources: Optional[int] = None, seed: int = 0) -> Dict[int, int]:
-    """Histogram of pairwise distances (possibly from a sample of sources)."""
+    """Histogram of pairwise distances (possibly from a sample of sources).
+
+    Both the exhaustive and the sampled branch count *unordered* pairs exactly
+    once: a pair of sampled sources is counted from its smaller endpoint only,
+    and a (source, non-source) pair is counted from the source.  BFS sweeps go
+    through the graph's shared :class:`DistanceCache`.
+    """
     sources = list(graph.vertices())
     if max_sources is not None and len(sources) > max_sources:
         rng = random.Random(seed)
         sources = sorted(rng.sample(sources, max_sources))
+    source_set = frozenset(sources)
+    cache = graph.distance_cache()
+    inf = INFINITY
     histogram: Dict[int, int] = {}
     for s in sources:
-        for v, d in bfs_distances(graph, s).items():
-            if v > s or (max_sources is not None):
-                histogram[d] = histogram.get(d, 0) + 1
-    histogram.pop(0, None)
+        vec = cache.vector(s)
+        for v, d in enumerate(vec):
+            if d is inf or v == s:
+                continue
+            if v in source_set and v < s:
+                continue  # already counted from the smaller sampled endpoint
+            key = int(d)
+            histogram[key] = histogram.get(key, 0) + 1
     return histogram

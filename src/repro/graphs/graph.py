@@ -9,7 +9,12 @@ centralized reference algorithms can share it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .distances import DistanceCache
 
 Edge = Tuple[int, int]
 
@@ -31,7 +36,7 @@ class Graph:
         parallel edges are collapsed.
     """
 
-    __slots__ = ("_n", "_adj", "_num_edges")
+    __slots__ = ("_n", "_adj", "_num_edges", "_version", "_csr", "_dcache")
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if num_vertices < 0:
@@ -39,6 +44,9 @@ class Graph:
         self._n = int(num_vertices)
         self._adj: List[Set[int]] = [set() for _ in range(self._n)]
         self._num_edges = 0
+        self._version = 0
+        self._csr: Optional[CSRGraph] = None
+        self._dcache: Optional["DistanceCache"] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -54,6 +62,15 @@ class Graph:
     def num_edges(self) -> int:
         """Number of (undirected) edges ``m``."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every successful edge add/remove.
+
+        Snapshots and caches (:meth:`csr`, :meth:`distance_cache`) use this to
+        detect staleness.
+        """
+        return self._version
 
     def vertices(self) -> range:
         """Iterate over all vertex IDs."""
@@ -93,6 +110,44 @@ class Graph:
         return set(self.edges())
 
     # ------------------------------------------------------------------
+    # Flat-array snapshots and caches
+    # ------------------------------------------------------------------
+    def csr(self) -> CSRGraph:
+        """Return a frozen CSR snapshot of the current adjacency.
+
+        The snapshot (``indptr``/``adj`` flat arrays, rows sorted) is cached
+        and shared by all callers until the graph mutates; any ``add_edge`` /
+        ``remove_edge`` invalidates it and the next call builds a fresh one.
+        Snapshots themselves never change, so holding one across mutations
+        observes the topology at snapshot time.
+        """
+        csr = self._csr
+        if csr is None:
+            csr = self._csr = CSRGraph.from_graph(self)
+        return csr
+
+    def distance_cache(self) -> "DistanceCache":
+        """Return the per-graph BFS distance cache (created on first use).
+
+        The cache memoizes single-source distance vectors and is shared by
+        every analysis that sweeps BFS over this graph (stretch verification,
+        additive-term fitting, distance histograms).  Like :meth:`csr` it is
+        dropped on mutation.
+        """
+        cache = self._dcache
+        if cache is None:
+            from .distances import DistanceCache
+
+            cache = self._dcache = DistanceCache(self)
+        return cache
+
+    def _invalidate(self) -> None:
+        """Drop derived snapshots/caches after a mutation."""
+        self._version += 1
+        self._csr = None
+        self._dcache = None
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add_edge(self, u: int, v: int) -> bool:
@@ -110,14 +165,37 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._invalidate()
         return True
 
     def add_edges(self, edges: Iterable[Edge]) -> int:
-        """Add many edges; return the number of edges actually inserted."""
+        """Add many edges; return the number of edges actually inserted.
+
+        Batch path: validates and inserts inline and invalidates the derived
+        snapshots once at the end instead of per edge.
+        """
         added = 0
-        for u, v in edges:
-            if self.add_edge(u, v):
+        adj = self._adj
+        n = self._n
+        try:
+            for u, v in edges:
+                if not (0 <= u < n and 0 <= v < n):
+                    self._check_vertex(u)
+                    self._check_vertex(v)
+                if u == v:
+                    raise ValueError(f"self-loops are not allowed (vertex {u})")
+                adj_u = adj[u]
+                if v in adj_u:
+                    continue
+                adj_u.add(v)
+                adj[v].add(u)
                 added += 1
+        finally:
+            # An invalid edge mid-batch must not desynchronize the edge count
+            # or leave stale CSR/distance snapshots for the edges already in.
+            if added:
+                self._num_edges += added
+                self._invalidate()
         return added
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -129,6 +207,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._invalidate()
         return True
 
     # ------------------------------------------------------------------
@@ -139,6 +218,8 @@ class Graph:
         other = Graph(self._n)
         other._adj = [set(adj) for adj in self._adj]
         other._num_edges = self._num_edges
+        # Snapshots are immutable, so the copy may share the current one.
+        other._csr = self._csr
         return other
 
     def subgraph_from_edges(self, edges: Iterable[Edge]) -> "Graph":

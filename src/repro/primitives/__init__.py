@@ -10,9 +10,11 @@ from .aggregation import (
 from .bellman_ford import BellmanFordResult, run_bellman_ford
 from .bfs_forest import ForestResult, forest_membership, run_bfs_forest
 from .exploration import (
+    CenterExploration,
     ExplorationResult,
     KnownCenter,
     centralized_bounded_exploration,
+    centralized_engine_exploration,
     run_bounded_exploration,
 )
 from .ruling_set import (
@@ -26,6 +28,7 @@ from .traceback import (
     TracebackResult,
     centralized_forest_markup,
     centralized_traceback,
+    centralized_traceback_flat,
     run_forest_path_markup,
     run_traceback,
 )
@@ -33,6 +36,7 @@ from .traceback import (
 __all__ = [
     "BellmanFordResult",
     "BroadcastResult",
+    "CenterExploration",
     "ConvergecastResult",
     "ExplorationResult",
     "ForestResult",
@@ -40,9 +44,11 @@ __all__ = [
     "RulingSetResult",
     "TracebackResult",
     "centralized_bounded_exploration",
+    "centralized_engine_exploration",
     "centralized_forest_markup",
     "centralized_ruling_set",
     "centralized_traceback",
+    "centralized_traceback_flat",
     "count_vertices",
     "forest_membership",
     "id_digits",

@@ -95,10 +95,10 @@ class _ForestProgram(NodeProgram):
         # then smallest parent -- deterministic tie breaking.
         best: Optional[Tuple[int, int, int]] = None
         for message in inbox:
-            if message.content[0] != FOREST_TAG:
+            content = message.content
+            if content[0] != FOREST_TAG:
                 continue
-            _, announced_root, announced_dist = message.content
-            candidate = (announced_dist + 1, announced_root, message.sender)
+            candidate = (content[2] + 1, content[1], message.sender)
             if best is None or candidate < best:
                 best = candidate
         if best is None:

@@ -30,7 +30,7 @@ Guarantees verified by the test-suite (Theorem 2.1 / Lemma A.1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 from ..congest.message import Message
 from ..congest.node import NodeContext, NodeProgram
@@ -38,9 +38,16 @@ from ..congest.simulator import Simulator
 
 EXPLORE_TAG = "explore"
 
+# Shared empty phase buffer for vertices with nothing to forward.
+_NO_BUFFER: List[Tuple[int, int]] = []
 
-@dataclass
-class KnownCenter:
+# KnownCenter is a NamedTuple with no constructor logic, so the hot loops
+# build entries through tuple.__new__ directly -- ~2x faster than going
+# through the generated __new__, with an identical resulting object.
+_new_entry = tuple.__new__
+
+
+class KnownCenter(NamedTuple):
     """What a vertex knows about one center: its distance and the via-neighbour."""
 
     distance: int
@@ -113,7 +120,10 @@ class _ExplorationPhaseProgram(NodeProgram):
         newly_learned: List[int],
     ) -> None:
         self.node_id = node_id
-        self.outbuf = list(outbuf)
+        # The phase driver hands over a fresh (or shared-empty) buffer per
+        # phase and the program never mutates it, so no defensive copy.
+        self.outbuf = outbuf
+        self._next_send = 0
         self.known = known
         self.newly_learned = newly_learned
 
@@ -121,22 +131,31 @@ class _ExplorationPhaseProgram(NodeProgram):
         self._send_next(ctx)
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
-        for message in sorted(inbox, key=lambda m: (m.content[1], m.sender)):
-            if message.content[0] != EXPLORE_TAG:
+        # The historical implementation processed the inbox sorted by
+        # (center, sender).  Inboxes arrive in ascending sender order (the
+        # scheduler drains outboxes sender-by-sender) with at most one
+        # message per sender per round, so for every center the first
+        # arrival already is the smallest announcing sender: processing in
+        # arrival order adopts bit-identical (distance, via) entries.
+        known = self.known
+        for message in inbox:
+            content = message.content
+            if content[0] != EXPLORE_TAG:
                 continue
-            _, center, distance = message.content
-            if center not in self.known:
-                self.known[center] = KnownCenter(distance + 1, message.sender)
+            _, center, distance = content
+            if center not in known:
+                known[center] = _new_entry(KnownCenter, (distance + 1, message.sender))
                 self.newly_learned.append(center)
         self._send_next(ctx)
 
     def _send_next(self, ctx: NodeContext) -> None:
-        if self.outbuf:
-            center, distance = self.outbuf.pop(0)
+        if self._next_send < len(self.outbuf):
+            center, distance = self.outbuf[self._next_send]
+            self._next_send += 1
             ctx.broadcast(EXPLORE_TAG, center, distance)
 
     def is_idle(self) -> bool:
-        return not self.outbuf
+        return self._next_send >= len(self.outbuf)
 
     def result(self):
         return None
@@ -197,8 +216,13 @@ def run_bounded_exploration(
         # centers (deterministically the smallest IDs; the paper allows an
         # arbitrary choice).
         for v in range(n):
-            fresh = sorted(set(newly[v]))[:cap]
-            outbufs[v] = [(center, known[v][center].distance) for center in fresh]
+            fresh_centers = newly[v]
+            if fresh_centers:
+                known_v = known[v]
+                fresh = sorted(set(fresh_centers))[:cap]
+                outbufs[v] = [(center, known_v[center].distance) for center in fresh]
+            else:
+                outbufs[v] = _NO_BUFFER
 
     # The paper's schedule always occupies 1 + cap * depth rounds even when
     # the network goes quiet early; charge the idle remainder so the ledger
@@ -224,6 +248,117 @@ def run_bounded_exploration(
     )
 
 
+@dataclass
+class CenterExploration:
+    """Flat-array exploration summary used by the centralized engine.
+
+    Holds exactly what the engine consumes from Algorithm 1's exact
+    (untruncated) knowledge, in flat-array form instead of per-vertex
+    dictionaries of :class:`KnownCenter`:
+
+    * ``near_centers[c]`` -- the sorted centers within ``depth`` of center
+      ``c`` (excluding ``c``); drives popularity and the interconnection
+      requests.
+    * ``parents[c]`` -- the BFS-tree parent of every vertex *toward* ``c``
+      (``-1`` for unreached vertices, ``c`` for the root itself), with the
+      same sorted-neighbour tie-breaking as :func:`centralized_bounded_exploration`'s
+      via-pointers; drives the shortest-path trace-back.
+
+    The full per-vertex knowledge of :func:`centralized_bounded_exploration`
+    is a strict superset of this; the engine only ever reads the parts kept
+    here, so both produce identical spanners.
+    """
+
+    near_centers: Dict[int, List[int]]
+    parents: Dict[int, List[int]]
+    popular: Set[int]
+    centers: List[int]
+    depth: int
+    cap: int
+    nominal_rounds: int
+
+
+def centralized_engine_exploration(
+    graph,
+    centers: Iterable[int],
+    depth: int,
+    cap: int,
+) -> CenterExploration:
+    """Exact per-center exploration in flat arrays (centralized engine hot path).
+
+    Runs one depth-bounded frontier sweep per center over the CSR snapshot,
+    recording only parent pointers (a dense list per center) and the centers
+    encountered.  Visit order matches :func:`centralized_bounded_exploration`
+    exactly, so the parent chains equal its via chains.
+    """
+    n = graph.num_vertices
+    center_list = sorted(set(centers))
+    for center in center_list:
+        if not 0 <= center < n:
+            raise ValueError(f"center {center} out of range")
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    if cap < 1:
+        raise ValueError("cap (deg_i) must be >= 1")
+
+    rows = graph.csr().rows()
+    is_center = bytearray(n)
+    for center in center_list:
+        is_center[center] = 1
+
+    near_centers: Dict[int, List[int]] = {}
+    parents: Dict[int, List[int]] = {}
+    all_centers = len(center_list) == n
+    if depth == 1:
+        # Phase-0 shape: every ball is just the neighbour row (already
+        # sorted), so skip the frontier machinery entirely.
+        for center in center_list:
+            row = rows[center]
+            parent = [-1] * n
+            parent[center] = center
+            for v in row:
+                parent[v] = center
+            near_centers[center] = (
+                list(row) if all_centers else [v for v in row if is_center[v]]
+            )
+            parents[center] = parent
+    else:
+        for center in center_list:
+            # ``parent`` doubles as the visited marker: >= 0 means reached.
+            parent = [-1] * n
+            parent[center] = center
+            hits: List[int] = []
+            hit = hits.append
+            frontier = [center]
+            d = 0
+            while frontier and d < depth:
+                d += 1
+                next_frontier: List[int] = []
+                push = next_frontier.append
+                for u in frontier:
+                    for v in rows[u]:
+                        if parent[v] < 0:
+                            parent[v] = u
+                            if is_center[v]:
+                                hit(v)
+                            push(v)
+                frontier = next_frontier
+            hits.sort()
+            near_centers[center] = hits
+            parents[center] = parent
+
+    popular = {center for center in center_list if len(near_centers[center]) >= cap}
+    return CenterExploration(
+        near_centers=near_centers,
+        parents=parents,
+        popular=popular,
+        centers=center_list,
+        depth=depth,
+        cap=cap,
+        nominal_rounds=1 + cap * depth,
+    )
+
+
 def centralized_bounded_exploration(
     graph,
     centers: Iterable[int],
@@ -238,22 +373,41 @@ def centralized_bounded_exploration(
     of Theorem 2.1 for the vertices the algorithm cares about (non-popular
     centers know everything; popular centers are exactly those with ``>= cap``
     near centers) and is what the centralized reference engine uses.
-    """
-    from ..graphs.bfs import bfs
 
+    Each center's sweep is a depth-bounded frontier walk over the CSR
+    snapshot, so the work is proportional to the explored balls rather than
+    ``|centers| * n``.  Visit order matches a sorted-neighbour BFS exactly,
+    which keeps the recorded via-pointers (the BFS-tree parents pointing
+    toward the center) bit-identical to the historical implementation.
+    """
     n = graph.num_vertices
     center_list = sorted(set(centers))
-    known: List[Dict[int, KnownCenter]] = [dict() for _ in range(n)]
     for center in center_list:
-        result = bfs(graph, center, max_depth=depth)
-        for v in range(n):
-            d = result.dist[v]
-            if d is None:
-                continue
-            via: Optional[int] = result.parent[v]
-            # ``parent`` points toward the source, i.e. toward the center,
-            # exactly the direction a trace-back must walk.
-            known[v][center] = KnownCenter(d, via)
+        if not 0 <= center < n:
+            raise ValueError(f"center {center} out of range")
+    known: List[Dict[int, KnownCenter]] = [dict() for _ in range(n)]
+    rows = graph.csr().rows()
+    entry_cls = KnownCenter
+    new_entry = _new_entry
+    for center in center_list:
+        known[center][center] = KnownCenter(0, None)
+        seen = {center}
+        seen_add = seen.add
+        frontier = [center]
+        d = 0
+        while frontier and d < depth:
+            d += 1
+            next_frontier: List[int] = []
+            push = next_frontier.append
+            for u in frontier:
+                for v in rows[u]:
+                    if v not in seen:
+                        seen_add(v)
+                        # ``u`` is the BFS-tree parent of ``v``, i.e. the
+                        # direction a trace-back toward the center must walk.
+                        known[v][center] = new_entry(entry_cls, (d, u))
+                        push(v)
+            frontier = next_frontier
     popular = {
         center for center in center_list if len(known[center]) - 1 >= cap
     }

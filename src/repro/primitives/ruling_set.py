@@ -185,7 +185,7 @@ def centralized_ruling_set(
     Produces exactly the same set as :func:`run_ruling_set` (the construction
     is deterministic), using centralized BFS instead of the simulator.
     """
-    from ..graphs.bfs import multi_source_bfs
+    from ..graphs.bfs import _flat_bfs_distances
 
     n = graph.num_vertices
     candidate_list = sorted(set(candidates))
@@ -210,8 +210,8 @@ def centralized_ruling_set(
             remaining.difference_update(group)
             if not remaining:
                 continue
-            reached = multi_source_bfs(graph, group, max_depth=q)
-            knocked_out = {v for v in remaining if reached.dist[v] is not None}
+            reached_dist, _ = _flat_bfs_distances(graph, group, max_depth=q)
+            knocked_out = {v for v in remaining if reached_dist[v] >= 0}
             remaining.difference_update(knocked_out)
         active = selected
 

@@ -28,7 +28,7 @@ from ..congest.node import NodeContext, NodeProgram
 from ..congest.simulator import Simulator
 from ..graphs.graph import normalize_edge
 from .bfs_forest import ForestResult
-from .exploration import ExplorationResult
+from .exploration import ExplorationResult, KnownCenter
 
 TRACE_TAG = "trace"
 MARKUP_TAG = "markup"
@@ -49,11 +49,13 @@ class _TracebackProgram(NodeProgram):
     def __init__(
         self,
         node_id: int,
-        via: Dict[int, Optional[int]],
+        known: Dict[int, "KnownCenter"],
         initial_targets: Sequence[int],
     ) -> None:
         self.node_id = node_id
-        self.via = via
+        # The exploration's knowledge map is read in place (center ->
+        # KnownCenter); its ``via`` pointers are the trace-back directions.
+        self.known = known
         self.marked: Set[Tuple[int, int]] = set()
         self.forwarded: Set[int] = set()
         self.queues: Dict[int, deque] = {}
@@ -63,18 +65,21 @@ class _TracebackProgram(NodeProgram):
     def _enqueue(self, target: int) -> None:
         if target == self.node_id or target in self.forwarded:
             return
-        next_hop = self.via.get(target)
-        if next_hop is None:
+        entry = self.known.get(target)
+        if entry is None or entry.via is None:
             # Either we do not know the target or we are the target itself.
             return
         self.forwarded.add(target)
-        self.queues.setdefault(next_hop, deque()).append(target)
+        self.queues.setdefault(entry.via, deque()).append(target)
 
     def on_start(self, ctx: NodeContext) -> None:
         self._flush(ctx)
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
-        for message in sorted(inbox, key=lambda m: (m.sender, m.content)):
+        # Inboxes arrive in ascending sender order and the protocol sends at
+        # most one trace message per edge per round, so arrival order already
+        # equals the historical (sender, content) processing order.
+        for message in inbox:
             if message.content[0] != TRACE_TAG:
                 continue
             _, target = message.content
@@ -82,14 +87,19 @@ class _TracebackProgram(NodeProgram):
         self._flush(ctx)
 
     def _flush(self, ctx: NodeContext) -> None:
-        for neighbor in sorted(self.queues.keys()):
-            queue = self.queues[neighbor]
-            if not queue:
-                continue
+        queues = self.queues
+        if not queues:
+            return
+        emptied: List[int] = []
+        for neighbor in sorted(queues):
+            queue = queues[neighbor]
             target = queue.popleft()
             ctx.send(neighbor, TRACE_TAG, target)
             self.marked.add(normalize_edge(self.node_id, neighbor))
-        self.queues = {k: v for k, v in self.queues.items() if v}
+            if not queue:
+                emptied.append(neighbor)
+        for neighbor in emptied:
+            del queues[neighbor]
 
     def is_idle(self) -> bool:
         return not self.queues
@@ -117,12 +127,8 @@ def run_traceback(
     n = graph.num_vertices
     programs = []
     for v in range(n):
-        via = {
-            center: entry.via
-            for center, entry in exploration.known[v].items()
-        }
         initial = sorted(set(requests.get(v, ())))
-        programs.append(_TracebackProgram(v, via, initial))
+        programs.append(_TracebackProgram(v, exploration.known[v], initial))
     if nominal_rounds is None:
         nominal_rounds = exploration.cap * exploration.depth
     run = simulator.run_protocol(
@@ -225,6 +231,36 @@ def centralized_traceback(
             path = exploration.trace_path(initiator, target)
             for a, b in zip(path, path[1:]):
                 edges.add(normalize_edge(a, b))
+    return edges
+
+
+def centralized_traceback_flat(
+    exploration: "CenterExploration",
+    requests: Dict[int, Iterable[int]],
+) -> Set[Tuple[int, int]]:
+    """Trace-back over a flat-array :class:`~repro.primitives.exploration.CenterExploration`.
+
+    Walks each requested ``initiator -> target`` shortest path along the
+    target's dense parent array; the chains (and hence the produced edge set)
+    are identical to :func:`centralized_traceback` over the exhaustive
+    knowledge maps.
+    """
+    edges: Set[Tuple[int, int]] = set()
+    add = edges.add
+    parents = exploration.parents
+    for initiator, targets in requests.items():
+        for target in targets:
+            if target == initiator:
+                continue
+            parent = parents[target]
+            if parent[initiator] < 0:
+                # The initiator never learned this target; nothing to trace.
+                continue
+            current = initiator
+            while current != target:
+                nxt = parent[current]
+                add((current, nxt) if current <= nxt else (nxt, current))
+                current = nxt
     return edges
 
 

@@ -1,0 +1,75 @@
+"""Golden-run regression tests for the active-set CONGEST scheduler.
+
+The counters below were recorded with the seed (pre-flat-array) simulator:
+per-round dict-of-inboxes delivery, O(n)-per-round idle scans and per-pair
+broadcast queueing.  The rewritten scheduler (reused inbox lists, incremental
+idle tracking, sender-batched congestion audit, broadcast sentinels) must
+reproduce them bit-for-bit -- any drift in ``rounds_executed``,
+``messages_delivered``, ``words_delivered``, ``max_edge_congestion`` or the
+per-node results means the "optimization" changed protocol behaviour.
+
+``scripts/bench_compare.py`` checks the same invariants against the committed
+``BENCH_seed.json``; this test pins them into the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro import build_spanner
+from repro.congest.simulator import Simulator
+from repro.experiments import default_parameters
+from repro.graphs import gnp_random_graph, planted_partition_graph
+from repro.primitives.bfs_forest import run_bfs_forest
+
+
+def _digest(obj) -> str:
+    """Same stable content digest as scripts/bench_compare.py."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class TestForestGoldenRun:
+    """A bare BFS-forest protocol pins the scheduler's accounting."""
+
+    def _run(self):
+        graph = planted_partition_graph(8, 12, p_intra=0.5, p_inter=0.03, seed=5)
+        simulator = Simulator(graph)
+        return run_bfs_forest(simulator, sources=[0, 17, 55, 80], depth=6)
+
+    def test_counters_match_seed_simulator(self):
+        forest = self._run()
+        assert forest.run.rounds_executed == 4
+        assert forest.run.messages_delivered == 702
+        assert forest.run.words_delivered == 2106
+        assert forest.run.max_edge_congestion == 1
+        assert not forest.run.congestion_violations
+
+    def test_results_match_seed_simulator(self):
+        forest = self._run()
+        assert _digest(forest.run.results) == "ef9cf9921c445846"
+
+    def test_rerun_on_same_simulator_is_identical(self):
+        # Contexts and inbox buffers are reused across runs; a second run must
+        # start from clean state and reproduce the same counters.
+        graph = planted_partition_graph(8, 12, p_intra=0.5, p_inter=0.03, seed=5)
+        simulator = Simulator(graph)
+        first = run_bfs_forest(simulator, sources=[0, 17, 55, 80], depth=6)
+        second = run_bfs_forest(simulator, sources=[0, 17, 55, 80], depth=6)
+        assert first.run.rounds_executed == second.run.rounds_executed
+        assert first.run.messages_delivered == second.run.messages_delivered
+        assert first.run.results == second.run.results
+
+
+class TestDistributedBuildGoldenRun:
+    """The full distributed spanner build pins ledger totals and the spanner."""
+
+    def test_build_matches_seed_engine(self):
+        graph = gnp_random_graph(120, 0.05, seed=21)
+        result = build_spanner(
+            graph, parameters=default_parameters(), engine="distributed"
+        )
+        assert result.nominal_rounds == 31496
+        assert result.num_edges == 126
+        assert _digest(sorted(result.spanner.edge_set())) == "8f0c24506186ec50"

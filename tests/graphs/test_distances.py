@@ -6,6 +6,7 @@ import pytest
 
 from repro.graphs import (
     INFINITY,
+    DistanceCache,
     Graph,
     all_pairs_distances,
     average_distance,
@@ -112,3 +113,67 @@ class TestSampling:
         assert histogram[1] == 5
         assert histogram[5] == 1
         assert 0 not in histogram
+
+    def test_sampling_dense_requests_stay_distinct(self):
+        # Above a 50% fill ratio the sampler switches from rejection sampling
+        # (which thrashes near saturation) to shuffling the pair space.
+        max_pairs = 12 * 11 // 2
+        for requested in (max_pairs, max_pairs - 1, max_pairs // 2 + 1):
+            pairs = sample_vertex_pairs(12, requested, seed=5)
+            assert len(pairs) == requested
+            assert len(set(pairs)) == requested
+            for u, v in pairs:
+                assert 0 <= u < v < 12
+
+    def test_dense_sampling_is_deterministic(self):
+        assert sample_vertex_pairs(10, 44, seed=2) == sample_vertex_pairs(10, 44, seed=2)
+        assert sample_vertex_pairs(10, 44, seed=2) != sample_vertex_pairs(10, 44, seed=3)
+
+    def test_sampled_histogram_counts_unordered_pairs(self, path_6):
+        # With k sampled sources on a connected n-vertex graph the histogram
+        # must cover k*(k-1)/2 source-source pairs plus k*(n-k) source-other
+        # pairs, each exactly once.
+        histogram = distance_histogram(path_6, max_sources=3, seed=1)
+        assert sum(histogram.values()) == 3 + 3 * 3
+        assert 0 not in histogram
+
+    def test_sampled_histogram_with_all_sources_matches_full(self, path_6):
+        full = distance_histogram(path_6)
+        sampled = distance_histogram(path_6, max_sources=6)
+        assert sampled == full
+
+
+class TestDistanceCache:
+    def test_vectors_match_single_source(self, grid_5x5):
+        cache = grid_5x5.distance_cache()
+        for source in (0, 7, 24):
+            assert cache.vector(source) == single_source_distances(grid_5x5, source)
+
+    def test_vector_is_memoized(self, grid_5x5):
+        cache = grid_5x5.distance_cache()
+        assert cache.vector(3) is cache.vector(3)
+        assert len(cache) == 1
+
+    def test_shared_instance_per_graph(self, grid_5x5):
+        assert grid_5x5.distance_cache() is grid_5x5.distance_cache()
+
+    def test_mutation_invalidates_cached_vectors(self):
+        graph = path_graph(6)
+        cache = graph.distance_cache()
+        assert cache.vector(0)[5] == 5.0
+        graph.add_edge(0, 5)
+        # The graph drops its cache reference on mutation...
+        assert graph.distance_cache().vector(0)[5] == 1.0
+        # ...and a stale handle self-heals via the version guard.
+        assert cache.vector(0)[5] == 1.0
+
+    def test_distance_helper(self, cycle_8):
+        cache = DistanceCache(cycle_8)
+        assert cache.distance(0, 4) == 4.0
+        assert cache.distance(0, 7) == 1.0
+
+    def test_clear_drops_vectors(self, grid_5x5):
+        cache = grid_5x5.distance_cache()
+        cache.vector(0)
+        cache.clear()
+        assert len(cache) == 0
