@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""One-command repository health check: tier-1 tests + golden protocol counters.
+
+Runs, in order:
+
+1. the tier-1 pytest suite (``PYTHONPATH=src python -m pytest -x -q``),
+2. the golden-counter check of ``scripts/bench_compare.py`` against the
+   committed ``BENCH_seed.json`` baseline (``--skip-benchmarks`` mode: the
+   fixed distributed build and BFS-forest protocol must stay bit-identical --
+   wall-clock benchmarks are skipped, so this is fast and hardware-independent).
+
+Exit status is non-zero if either stage fails.  This is what the GitHub
+Actions workflow (.github/workflows/ci.yml) runs; locally::
+
+    python scripts/ci_check.py            # both stages
+    python scripts/ci_check.py --fast     # golden counters only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(SRC) + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_stage(name: str, cmd: list) -> bool:
+    print(f"==> {name}: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_env())
+    ok = proc.returncode == 0
+    print(f"==> {name}: {'OK' if ok else f'FAILED (exit {proc.returncode})'}", flush=True)
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the pytest stage; only check the golden protocol counters",
+    )
+    args = parser.parse_args(argv)
+
+    ok = True
+    if not args.fast:
+        ok = run_stage(
+            "tier-1 tests", [sys.executable, "-m", "pytest", "-x", "-q"]
+        ) and ok
+    if ok or args.fast:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+            snapshot = handle.name
+        try:
+            ok = run_stage(
+                "golden counters",
+                [
+                    sys.executable,
+                    str(REPO_ROOT / "scripts" / "bench_compare.py"),
+                    "--skip-benchmarks",
+                    "--output",
+                    snapshot,
+                    "--baseline",
+                    str(REPO_ROOT / "BENCH_seed.json"),
+                ],
+            ) and ok
+        finally:
+            try:
+                os.unlink(snapshot)
+            except OSError:
+                pass
+    print("==> all checks passed" if ok else "==> CHECKS FAILED", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so editable
+installs also work on toolchains without PEP 660 support (older setuptools /
+missing ``wheel``), via ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -69,6 +69,47 @@ def render_markdown_table(
     return "\n".join(lines)
 
 
+def render_suite_manifest(manifest: Dict[str, object]) -> str:
+    """Render a suite-run manifest (per-scenario status, checks, cache hits, wall-clock).
+
+    The manifest is produced by :meth:`repro.experiments.pipeline.SuiteResult.manifest`;
+    this is what ``repro suite run`` prints.
+    """
+    lines: List[str] = []
+    header = (
+        f"suite: {manifest.get('total_tasks', 0)} tasks, "
+        f"{manifest.get('total_cache_hits', 0)} cache hits, "
+        f"{manifest.get('total_computed', 0)} computed, "
+        f"jobs={manifest.get('jobs', 1)}, "
+        f"elapsed {manifest.get('elapsed_seconds', 0)}s"
+    )
+    store = manifest.get("store")
+    if store:
+        header += f", store={store}" + (" (resume)" if manifest.get("resume") else "")
+    lines.append(header)
+    rows = []
+    for scenario in manifest.get("scenarios", []):
+        checks_failed = scenario.get("checks_failed") or []
+        rows.append(
+            {
+                "scenario": scenario.get("name"),
+                "status": scenario.get("status"),
+                "tasks": scenario.get("tasks"),
+                "hits": scenario.get("cache_hits"),
+                "computed": scenario.get("computed"),
+                "wall_s": scenario.get("wall_seconds"),
+                "failed_checks": ", ".join(checks_failed) if checks_failed else "-",
+            }
+        )
+    if rows:
+        lines.append(render_table(rows))
+    for scenario in manifest.get("scenarios", []):
+        if scenario.get("error"):
+            lines.append(f"error in {scenario.get('name')}: {scenario.get('error')}")
+    lines.append("all ok" if manifest.get("all_ok") else "FAILURES (see above)")
+    return "\n".join(lines)
+
+
 def render_series(
     series: Dict[str, Sequence[float]],
     x_label: str = "x",

@@ -1,12 +1,14 @@
 """Command-line interface: build spanners and regenerate the paper's experiments.
 
-Usage (after ``pip install -e .``)::
+Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
 
-    python -m repro build --family gnp --size 300 --epsilon 0.5 --kappa 3 --rho 0.34
-    python -m repro build --input graph.txt --engine distributed --output spanner.txt
-    python -m repro experiment table1
-    python -m repro experiment figure3 --json out.json
-    python -m repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
+    repro build --family gnp --size 300 --epsilon 0.5 --kappa 3 --rho 0.34
+    repro build --input graph.txt --engine distributed --output spanner.txt
+    repro experiment table1
+    repro experiment figure3 --json out.json
+    repro suite list --filter figure
+    repro suite run --filter paper --jobs 4 --store .repro-store --resume
+    repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
 
 Sub-commands:
 
@@ -15,9 +17,15 @@ Sub-commands:
     an edge-list file (``--input``), print the per-phase report and optionally
     write the spanner as an edge list (``--output``).
 ``experiment``
-    Run one of the named experiments (``table1``, ``table2``, ``figure1`` ...
-    ``figure8``, ``scaling``, ``ablation-epsilon``, ``ablation-rho``,
-    ``ablation-kappa``) and print its rendered record; ``--json`` saves it.
+    Run one registered scenario by name (every scenario in the registry --
+    tables, figures, scaling, ablations, workload families) and print its
+    rendered record; ``--json`` saves it.
+``suite``
+    Operate on the whole scenario registry: ``suite list`` shows every
+    registered scenario (``--filter TAG`` narrows by tag or name);
+    ``suite run`` executes the selected scenarios through the experiment
+    pipeline (``--jobs N`` process-parallel, ``--store DIR`` caches task
+    results, ``--resume`` reuses them) and prints the suite manifest.
 ``params``
     Print every derived schedule of a parameter setting.
 """
@@ -27,23 +35,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
-from .analysis import evaluate_stretch_sampled, render_table, verify_run
+from .analysis import evaluate_stretch_sampled, render_suite_manifest, render_table, verify_run
 from .core import build_spanner, make_parameters
-from .experiments import (
-    ALL_FIGURES,
-    build_result,
-    default_parameters,
-    run_epsilon_ablation,
-    run_kappa_ablation,
-    run_rho_ablation,
-    run_scaling,
-    run_table1,
-    run_table2,
-)
+from .experiments import all_specs, get_spec, run_scenario, run_suite, save_records
 from .graphs import make_workload, read_edge_list, write_edge_list
-from .graphs.generators import WORKLOAD_FAMILIES, planted_partition_graph
+from .graphs.generators import WORKLOAD_FAMILIES
 
 
 def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
@@ -102,40 +101,80 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _experiment_registry() -> Dict[str, Callable[[], object]]:
-    registry: Dict[str, Callable[[], object]] = {
-        "table1": lambda: run_table1(sizes=(80, 160, 320), sample_pairs=120),
-        "table2": lambda: run_table2(n=140, sample_pairs=150),
-        "scaling": lambda: run_scaling(sizes=(80, 160, 320, 640), sample_pairs=100),
-        "ablation-epsilon": lambda: run_epsilon_ablation(),
-        "ablation-rho": lambda: run_rho_ablation(),
-        "ablation-kappa": lambda: run_kappa_ablation(),
-    }
-
-    def make_figure_runner(figure_name: str) -> Callable[[], object]:
-        def runner():
-            graph = planted_partition_graph(10, 14, p_intra=0.5, p_inter=0.02, seed=13)
-            result = build_result(graph, default_parameters(), engine="centralized")
-            return ALL_FIGURES[figure_name](result)
-
-        return runner
-
-    for name in ALL_FIGURES:
-        registry[name] = make_figure_runner(name)
-    return registry
+def _check_resume(args: argparse.Namespace) -> Optional[str]:
+    if args.resume and not args.store:
+        return "--resume requires --store DIR (there is nothing to resume from)"
+    if args.jobs < 1:
+        return "--jobs must be >= 1"
+    return None
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    registry = _experiment_registry()
-    if args.name not in registry:
-        print(f"unknown experiment {args.name!r}; choose from: {', '.join(sorted(registry))}", file=sys.stderr)
+    error = _check_resume(args)
+    if error:
+        print(error, file=sys.stderr)
         return 2
-    record = registry[args.name]()
+    try:
+        spec = get_spec(args.name)
+    except KeyError:
+        names = ", ".join(spec.name for spec in all_specs())
+        print(f"unknown experiment {args.name!r}; choose from: {names}", file=sys.stderr)
+        return 2
+    record = run_scenario(
+        spec, jobs=args.jobs, store=args.store, resume=args.resume
+    )
     print(record.render())
     if args.json:
         record.save(args.json)
         print(f"record saved to {args.json}")
     return 0 if record.all_checks_passed else 1
+
+
+def _cmd_suite_list(args: argparse.Namespace) -> int:
+    specs = all_specs(args.filter)
+    if not specs:
+        print(f"no scenarios match filter {args.filter!r}", file=sys.stderr)
+        return 2
+    rows = [
+        {
+            "scenario": spec.name,
+            "tags": ",".join(spec.tags) or "-",
+            "tasks": len(spec.task_params()),
+            "description": spec.description,
+        }
+        for spec in specs
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_suite_run(args: argparse.Namespace) -> int:
+    error = _check_resume(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    specs = all_specs(args.filter)
+    if not specs:
+        print(f"no scenarios match filter {args.filter!r}", file=sys.stderr)
+        return 2
+    result = run_suite(specs, jobs=args.jobs, store=args.store, resume=args.resume)
+    if args.records:
+        records = list(result.records.values())
+        paths = save_records(records, args.records)
+        print(f"saved {len(paths)} records to {args.records}")
+    if args.render:
+        for outcome in result.outcomes:
+            if outcome.record is not None:
+                print(outcome.record.render())
+                print()
+    manifest = result.manifest()
+    if args.manifest:
+        Path(args.manifest).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"manifest saved to {args.manifest}")
+    print(render_suite_manifest(manifest))
+    return 0 if result.ok else 1
 
 
 def _cmd_params(args: argparse.Namespace) -> int:
@@ -164,10 +203,34 @@ def build_argument_parser() -> argparse.ArgumentParser:
     _add_parameter_arguments(build_parser)
     build_parser.set_defaults(handler=_cmd_build)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run a paper table/figure experiment")
-    experiment_parser.add_argument("name", help="table1, table2, figure1..figure8, scaling, ablation-*")
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one registered experiment scenario by name"
+    )
+    experiment_parser.add_argument(
+        "name", help="a registered scenario (see `repro suite list`)"
+    )
     experiment_parser.add_argument("--json", type=str, default=None, help="save the record as JSON")
+    experiment_parser.add_argument("--jobs", type=int, default=1, help="worker processes for the scenario's tasks")
+    experiment_parser.add_argument("--store", type=str, default=None, help="result-store directory for task caching")
+    experiment_parser.add_argument("--resume", action="store_true", help="reuse stored task results")
     experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    suite_parser = subparsers.add_parser("suite", help="list or run the registered scenario suite")
+    suite_subparsers = suite_parser.add_subparsers(dest="suite_command", required=True)
+
+    suite_list_parser = suite_subparsers.add_parser("list", help="list registered scenarios")
+    suite_list_parser.add_argument("--filter", type=str, default=None, help="keep scenarios matching this tag or name")
+    suite_list_parser.set_defaults(handler=_cmd_suite_list)
+
+    suite_run_parser = suite_subparsers.add_parser("run", help="run scenarios through the pipeline")
+    suite_run_parser.add_argument("--filter", type=str, default=None, help="keep scenarios matching this tag or name")
+    suite_run_parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial; results are identical)")
+    suite_run_parser.add_argument("--store", type=str, default=None, help="result-store directory for task caching")
+    suite_run_parser.add_argument("--resume", action="store_true", help="reuse stored task results; only invalidated tasks recompute")
+    suite_run_parser.add_argument("--records", type=str, default=None, help="directory to save every record as JSON")
+    suite_run_parser.add_argument("--manifest", type=str, default=None, help="file to save the suite manifest as JSON")
+    suite_run_parser.add_argument("--render", action="store_true", help="print every record, not just the manifest")
+    suite_run_parser.set_defaults(handler=_cmd_suite_run)
 
     params_parser = subparsers.add_parser("params", help="print the derived parameter schedules")
     params_parser.add_argument("--size", type=int, default=None, help="evaluate n-dependent bounds at this n")
@@ -178,10 +241,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``python -m repro``."""
+    """Entry point for ``python -m repro`` (and the ``repro`` console script)."""
     parser = build_argument_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly instead
+        # of tracebacking (redirect stdout so interpreter shutdown is clean).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through __main__

@@ -32,7 +32,9 @@ from ..core.parameters import SpannerParameters
 from ..core.result import SpannerResult
 from ..core.spanner import build_spanner
 from ..graphs.bfs import bfs_distances
+from ..graphs.generators import planted_partition_graph
 from ..graphs.graph import Graph
+from .registry import ScenarioSpec, register
 from .results import ExperimentRecord
 from .workloads import default_parameters
 
@@ -459,6 +461,17 @@ ALL_FIGURES = {
     "figure8": figure8_segment_argument,
 }
 
+_FIGURE_CAPTIONS = {
+    "figure1": "Supercluster growth around popular cluster centers (Lemma 2.4).",
+    "figure2": "BFS trees of new superclusters added to H; radii vs. R_i (Lemma 2.3).",
+    "figure3": "Ruling-set separation / domination / disjointness (Theorem 2.2).",
+    "figure4": "Forest paths from roots to member centers (superclustering depth bound).",
+    "figure5": "Interconnection paths per unclustered cluster vs. the deg_i budget (Lemma 2.12).",
+    "figure6": "Hop through a neighbouring cluster costs at most 3R_j + 1 + R_i (Lemma 2.15).",
+    "figure7": "End-to-end stretch decomposition against the (1+eps, beta) guarantee.",
+    "figure8": "The segmenting argument: surplus per eps^{-ell}-length segment (Lemma 2.16).",
+}
+
 
 def run_all_figures(
     graph: Graph,
@@ -468,3 +481,85 @@ def run_all_figures(
     """Run every figure experiment on a single shared spanner build."""
     result = build_result(graph, parameters, engine=engine)
     return {name: fn(result) for name, fn in ALL_FIGURES.items()}
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration: one scenario per figure, a shared task function
+# ----------------------------------------------------------------------
+def figure_workload(params: Dict[str, object]) -> Graph:
+    """The community workload all figure scenarios measure on."""
+    graph = params.get("graph")
+    if isinstance(graph, Graph):
+        return graph
+    return planted_partition_graph(
+        int(params["clusters"]),
+        int(params["cluster_size"]),
+        p_intra=float(params["p_intra"]),
+        p_inter=float(params["p_inter"]),
+        seed=int(params["workload_seed"]),
+    )
+
+
+def figure_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Build the spanner run and evaluate one figure experiment on it."""
+    graph = figure_workload(params)
+    parameters = default_parameters(
+        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
+    )
+    result = build_result(graph, parameters, engine=str(params["engine"]))
+    record = ALL_FIGURES[str(params["figure"])](result)
+    return record.to_dict()
+
+
+def figure_merge(
+    defaults: Dict[str, object], payloads: List[Dict[str, object]]
+) -> ExperimentRecord:
+    """A figure scenario is a single task; its payload already is the record."""
+    return ExperimentRecord.from_dict(payloads[0])
+
+
+def figure_spec(
+    figure: str,
+    clusters: int = 10,
+    cluster_size: int = 14,
+    p_intra: float = 0.5,
+    p_inter: float = 0.02,
+    workload_seed: int = 13,
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    engine: str = "centralized",
+    graph: Optional[Graph] = None,
+) -> ScenarioSpec:
+    """One figure experiment as a pipeline scenario."""
+    if figure not in ALL_FIGURES:
+        raise KeyError(f"unknown figure {figure!r}")
+    defaults: Dict[str, object] = {
+        "figure": figure,
+        "clusters": clusters,
+        "cluster_size": cluster_size,
+        "p_intra": p_intra,
+        "p_inter": p_inter,
+        "workload_seed": workload_seed,
+        "epsilon": epsilon,
+        "kappa": kappa,
+        "rho": rho,
+        "engine": engine,
+    }
+    if graph is not None:
+        defaults["graph"] = graph
+    return ScenarioSpec(
+        name=figure,
+        description=_FIGURE_CAPTIONS[figure],
+        tags=("figure", "paper"),
+        defaults=defaults,
+        workload=figure_workload,
+        workload_keys=("clusters", "cluster_size", "p_intra", "p_inter", "workload_seed"),
+        task=figure_task,
+        merge=figure_merge,
+        version="1",
+    )
+
+
+#: The registered, CLI-scale figure scenarios (figure1 .. figure8).
+FIGURE_SPECS = {name: register(figure_spec(name)) for name in sorted(ALL_FIGURES)}

@@ -1,0 +1,423 @@
+"""Generic experiment execution pipeline: expand, execute, merge, report.
+
+The pipeline turns :class:`~repro.experiments.registry.ScenarioSpec`s into
+independent *tasks* (one per grid point), executes them serially or
+process-parallel (``concurrent.futures.ProcessPoolExecutor``), and merges the
+per-task payloads back into one :class:`ExperimentRecord` per scenario.
+
+Determinism contract
+--------------------
+
+``--jobs 1`` and ``--jobs N`` produce **byte-identical** records:
+
+* task payloads are pure functions of ``(params, seed)`` -- both are fixed at
+  expansion time, never influenced by worker identity or completion order;
+* every payload (fresh, parallel or store-cached) is canonicalized through
+  the same JSON round-trip before merging, and timing fields are stripped
+  (wall-clock lives in the suite manifest, never in a record);
+* payloads are merged in expansion order, and the merged record is itself
+  normalized through :meth:`ExperimentRecord.from_dict`.
+
+Resumability
+------------
+
+With a :class:`~repro.experiments.store.ResultStore` attached, every computed
+payload is persisted under its content address.  With ``resume=True``,
+previously stored payloads are reused and only invalidated tasks (changed
+parameters, workload or scenario version) recompute; the suite manifest
+reports per-scenario cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .registry import (
+    Params,
+    ScenarioSpec,
+    TaskFn,
+    canonical_json,
+    derive_seed,
+    get_spec,
+)
+from .results import ExperimentRecord
+from .runner import TIMING_FIELDS
+from .store import ResultStore
+
+PIPELINE_SCHEMA = "repro-suite-manifest/v1"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One independent unit of work: a scenario at one grid point."""
+
+    scenario: str
+    index: int
+    params: Mapping[str, object]
+    seed: int
+    key: Optional[str] = None  # content address; set when a store is attached
+    workload_fingerprint: Optional[str] = None
+
+
+@dataclass
+class TaskOutcome:
+    """The result of executing (or recalling) one task."""
+
+    task: TaskSpec
+    payload: Optional[Dict[str, object]] = None
+    cached: bool = False
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class ScenarioOutcome:
+    """Suite-level outcome of one scenario: its record plus execution stats."""
+
+    name: str
+    record: Optional[ExperimentRecord] = None
+    error: Optional[str] = None
+    tasks: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and (
+            self.record is None or self.record.all_checks_passed
+        )
+
+    @property
+    def failed_checks(self) -> List[str]:
+        if self.record is None:
+            return []
+        return sorted(name for name, passed in self.record.checks.items() if not passed)
+
+    def manifest_entry(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "name": self.name,
+            "status": "error" if self.error else ("ok" if self.ok else "check-failed"),
+            "tasks": self.tasks,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "checks_failed": self.failed_checks,
+        }
+        if self.record is not None:
+            entry["record"] = self.record.name
+            entry["record_digest"] = self.record.digest()
+        if self.error:
+            entry["error"] = self.error
+        return entry
+
+
+@dataclass
+class SuiteResult:
+    """Everything a suite run produced: records plus the execution manifest."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    jobs: int = 1
+    store_root: Optional[str] = None
+    resume: bool = False
+    #: End-to-end elapsed wall-clock of the run (per-scenario ``wall_seconds``
+    #: sums task durations instead, so it does not shrink with ``jobs``).
+    elapsed_seconds: float = 0.0
+
+    @property
+    def records(self) -> Dict[str, ExperimentRecord]:
+        return {
+            outcome.name: outcome.record
+            for outcome in self.outcomes
+            if outcome.record is not None
+        }
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def manifest(self) -> Dict[str, object]:
+        """The suite-level manifest (what ``repro suite run`` renders)."""
+        return {
+            "schema": PIPELINE_SCHEMA,
+            "jobs": self.jobs,
+            "store": self.store_root,
+            "resume": self.resume,
+            "scenarios": [outcome.manifest_entry() for outcome in self.outcomes],
+            "total_tasks": sum(outcome.tasks for outcome in self.outcomes),
+            "total_cache_hits": sum(outcome.cache_hits for outcome in self.outcomes),
+            "total_computed": sum(outcome.computed for outcome in self.outcomes),
+            "total_wall_seconds": round(
+                sum(outcome.wall_seconds for outcome in self.outcomes), 4
+            ),
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "all_ok": self.ok,
+        }
+
+
+# ----------------------------------------------------------------------
+# Task execution
+# ----------------------------------------------------------------------
+def _strip_timing(obj: object) -> object:
+    """Recursively drop wall-clock fields so payloads stay deterministic."""
+    if isinstance(obj, dict):
+        return {
+            key: _strip_timing(value)
+            for key, value in obj.items()
+            if key not in TIMING_FIELDS
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_strip_timing(item) for item in obj]
+    return obj
+
+
+def canonicalize_payload(payload: Mapping[str, object]) -> Dict[str, object]:
+    """The single canonical form every payload passes through before merging.
+
+    Strips timing fields, then round-trips through canonical JSON so that
+    fresh in-process results, pickled cross-process results and store-loaded
+    results are all literally the same object graph.
+    """
+    return json.loads(canonical_json(_strip_timing(dict(payload))))
+
+
+def execute_task(task_fn: TaskFn, params: Params, seed: int) -> Tuple[Dict[str, object], float]:
+    """Run one task function and measure its wall-clock (worker entry point)."""
+    start = time.perf_counter()
+    payload = task_fn(dict(params), seed)
+    elapsed = time.perf_counter() - start
+    return canonicalize_payload(payload), elapsed
+
+
+def expand_tasks(spec: ScenarioSpec, store: Optional[ResultStore]) -> List[TaskSpec]:
+    """Expand a spec into ordered tasks (content-addressed when a store is attached)."""
+    tasks: List[TaskSpec] = []
+    fingerprints: Dict[str, str] = {}
+    for index, params in enumerate(spec.task_params()):
+        seed = derive_seed(spec.name, {k: v for k, v in params.items() if _json_safe(v)})
+        key = None
+        fingerprint = None
+        if store is not None:
+            # Content addressing needs the workload's fingerprint *before*
+            # execution, so the parent builds the graph once per distinct
+            # workload here and the task rebuilds it when it actually runs;
+            # that duplication is the price of store keys that notice
+            # generator changes.
+            if spec.workload_keys is not None:
+                # Tasks sharing a workload (e.g. a matrix of algorithms on one
+                # graph) share one fingerprint computation.
+                memo_key = canonical_json(
+                    {k: params.get(k) for k in spec.workload_keys if _json_safe(params.get(k))}
+                )
+                if memo_key not in fingerprints:
+                    fingerprints[memo_key] = spec.workload_fingerprint(dict(params))
+                fingerprint = fingerprints[memo_key]
+            else:
+                fingerprint = spec.workload_fingerprint(dict(params))
+            key = ResultStore.task_key(spec.name, params, fingerprint, spec.version)
+        tasks.append(
+            TaskSpec(
+                scenario=spec.name,
+                index=index,
+                params=params,
+                seed=seed,
+                key=key,
+                workload_fingerprint=fingerprint,
+            )
+        )
+    return tasks
+
+
+def _json_safe(value: object) -> bool:
+    """Whether a parameter value survives strict JSON exactly (graphs do not).
+
+    Strict (no ``default=`` fallback) and therefore deep: a Graph nested in a
+    list would otherwise be serialized as its repr, giving two different
+    graphs with equal (n, m) the same store key — a silent wrong cache hit.
+    """
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Suite runner
+# ----------------------------------------------------------------------
+def run_suite(
+    specs: Sequence[ScenarioSpec],
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
+) -> SuiteResult:
+    """Run a set of scenarios through the pipeline.
+
+    ``jobs > 1`` executes tasks in a process pool; results are identical to a
+    serial run (see the module docstring for the determinism contract).  With
+    a ``store``, computed payloads are persisted; with ``resume=True``, stored
+    payloads are reused and only invalidated tasks recompute.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if resume and store is None:
+        raise ValueError("resume=True requires a store (nothing to resume from)")
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    started = time.perf_counter()
+    result = SuiteResult(
+        jobs=jobs,
+        store_root=str(store.root) if store is not None else None,
+        resume=resume,
+    )
+
+    spec_by_name = {spec.name: spec for spec in specs}
+    if len(spec_by_name) != len(specs):
+        raise ValueError("duplicate scenario names in suite")
+
+    # Phase 1: expand every spec and recall whatever the store already holds.
+    outcomes: Dict[Tuple[str, int], TaskOutcome] = {}
+    pending: List[TaskSpec] = []
+    tasks_by_scenario: Dict[str, List[TaskSpec]] = {}
+    for spec in specs:
+        tasks = expand_tasks(spec, store)
+        tasks_by_scenario[spec.name] = tasks
+        if jobs > 1 or store is not None:
+            # Graph-bearing params (the run_* wrappers' explicit ``graph=``
+            # escape hatch) are neither picklable-by-contract nor content-
+            # addressable; insist on the in-process serial path for them.
+            for task in tasks:
+                bad = sorted(k for k, v in task.params.items() if not _json_safe(v))
+                if bad:
+                    raise ValueError(
+                        f"scenario {spec.name!r} carries non-serializable parameters "
+                        f"{bad}; run it serially (jobs=1) without a store"
+                    )
+        for task in tasks:
+            if resume and store is not None and task.key is not None:
+                payload = store.get(task.scenario, task.key)
+                if payload is not None:
+                    outcomes[(task.scenario, task.index)] = TaskOutcome(
+                        task=task, payload=canonicalize_payload(payload), cached=True
+                    )
+                    continue
+            pending.append(task)
+
+    # Phase 2: execute the remaining tasks (serial or process-parallel).
+    if jobs == 1 or len(pending) <= 1:
+        for task in pending:
+            outcomes[(task.scenario, task.index)] = _run_one(
+                spec_by_name[task.scenario], task
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [
+                (
+                    task,
+                    pool.submit(
+                        execute_task,
+                        spec_by_name[task.scenario].task,
+                        dict(task.params),
+                        task.seed,
+                    ),
+                )
+                for task in pending
+            ]
+            for task, future in futures:
+                outcome = TaskOutcome(task=task)
+                try:
+                    outcome.payload, outcome.wall_seconds = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported in the manifest
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                outcomes[(task.scenario, task.index)] = outcome
+
+    # Phase 3: persist fresh payloads.
+    if store is not None:
+        for outcome in outcomes.values():
+            task = outcome.task
+            if outcome.cached or outcome.payload is None or task.key is None:
+                continue
+            store.put(
+                task.scenario,
+                task.key,
+                outcome.payload,
+                params={k: v for k, v in task.params.items() if _json_safe(v)},
+                seed=task.seed,
+                workload_fingerprint=task.workload_fingerprint or "",
+                version=spec_by_name[task.scenario].version,
+            )
+
+    # Phase 4: deterministic merge, in spec order / task order.
+    for spec in specs:
+        scenario_outcome = ScenarioOutcome(name=spec.name)
+        tasks = tasks_by_scenario[spec.name]
+        scenario_outcome.tasks = len(tasks)
+        task_outcomes = [outcomes[(spec.name, task.index)] for task in tasks]
+        scenario_outcome.cache_hits = sum(1 for o in task_outcomes if o.cached)
+        scenario_outcome.computed = sum(
+            1 for o in task_outcomes if not o.cached and o.error is None
+        )
+        scenario_outcome.wall_seconds = sum(o.wall_seconds for o in task_outcomes)
+        errors = [o for o in task_outcomes if o.error is not None]
+        if errors:
+            first = errors[0]
+            scenario_outcome.error = (
+                f"task {first.task.index} failed: {first.error}"
+            )
+        else:
+            try:
+                record = spec.merge(
+                    dict(spec.defaults), [o.payload for o in task_outcomes]
+                )
+                spec.apply_checks(record)
+                scenario_outcome.record = ExperimentRecord.from_dict(
+                    json.loads(canonical_json(record.to_dict()))
+                )
+            except Exception as exc:  # noqa: BLE001 - reported in the manifest
+                scenario_outcome.error = (
+                    f"merge failed: {type(exc).__name__}: {exc}\n"
+                    + traceback.format_exc(limit=3)
+                )
+        result.outcomes.append(scenario_outcome)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _run_one(spec: ScenarioSpec, task: TaskSpec) -> TaskOutcome:
+    """Serial execution of one task (same canonicalization as the pool path)."""
+    outcome = TaskOutcome(task=task)
+    try:
+        outcome.payload, outcome.wall_seconds = execute_task(
+            spec.task, task.params, task.seed
+        )
+    except Exception as exc:  # noqa: BLE001 - reported in the manifest
+        outcome.error = f"{type(exc).__name__}: {exc}"
+    return outcome
+
+
+def run_scenario(
+    spec_or_name: Union[ScenarioSpec, str],
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
+) -> ExperimentRecord:
+    """Run a single scenario through the pipeline and return its record.
+
+    This is the one code path behind ``repro experiment``, the per-module
+    ``run_*`` wrappers and the suite runner; errors raise instead of being
+    swallowed into the manifest.
+    """
+    spec = get_spec(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    result = run_suite([spec], jobs=jobs, store=store, resume=resume)
+    outcome = result.outcomes[0]
+    if outcome.error is not None:
+        raise RuntimeError(f"scenario {spec.name!r} failed: {outcome.error}")
+    assert outcome.record is not None
+    return outcome.record

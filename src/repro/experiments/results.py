@@ -4,10 +4,16 @@ Every table/figure experiment produces an :class:`ExperimentRecord`: a named
 bundle of tabular rows, numeric series and pass/fail shape checks that can be
 rendered as text (what the benchmarks print) or saved to JSON (what
 EXPERIMENTS.md references).
+
+Records produced through the experiment pipeline are *deterministic*: they
+contain no wall-clock timing (the pipeline reports timing through the suite
+manifest instead) and serialize identically via :meth:`ExperimentRecord.to_canonical_json`
+no matter how many worker processes computed them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -16,6 +22,18 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..analysis.reporting import render_series, render_table
 
 PathLike = Union[str, Path]
+
+
+def canonical_json(obj: object) -> str:
+    """Canonical JSON: the single serialization behind store keys, workload
+    fingerprints, payload round-trips and record byte-identity.  Any change
+    here invalidates stores and breaks recorded digests -- version it."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def stable_digest(obj: object) -> str:
+    """Stable short content digest of a JSON-serializable object."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -80,14 +98,26 @@ class ExperimentRecord:
             "notes": self.notes,
         }
 
+    def to_canonical_json(self) -> str:
+        """Canonical serialization: the byte-identity contract of the pipeline.
+
+        Two records are *the same result* iff their canonical JSON matches;
+        the experiment pipeline guarantees this form is identical between
+        serial, process-parallel and store-resumed runs.
+        """
+        return canonical_json(self.to_dict())
+
+    def digest(self) -> str:
+        """Short content digest of the canonical serialization."""
+        return stable_digest(self.to_dict())
+
     def save(self, path: PathLike) -> None:
         """Write the record as JSON."""
         Path(path).write_text(json.dumps(self.to_dict(), indent=2, default=str), encoding="utf-8")
 
     @classmethod
-    def load(cls, path: PathLike) -> "ExperimentRecord":
-        """Read a record previously written by :meth:`save`."""
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_dict` output (or parsed JSON)."""
         return cls(
             name=data["name"],
             description=data["description"],
@@ -97,6 +127,11 @@ class ExperimentRecord:
             checks={k: bool(v) for k, v in data.get("checks", {}).items()},
             notes=list(data.get("notes", [])),
         )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ExperimentRecord":
+        """Read a record previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
 def save_records(records: Sequence[ExperimentRecord], directory: PathLike) -> List[Path]:

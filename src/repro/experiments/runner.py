@@ -59,6 +59,24 @@ class Measurement:
         return row
 
 
+#: Row fields that hold run-dependent wall-clock timing.  Pipeline task
+#: payloads must not contain them (the pipeline measures tasks itself and
+#: reports timing through the suite manifest), so records stay byte-identical
+#: across serial, parallel and store-resumed runs.
+TIMING_FIELDS = ("seconds", "wall_seconds")
+
+
+def measurement_row(measurement: "Measurement") -> Dict[str, object]:
+    """``Measurement.to_row()`` without the run-dependent timing fields.
+
+    This is the row form experiment tasks put into pipeline payloads.
+    """
+    row = measurement.to_row()
+    for fieldname in TIMING_FIELDS:
+        row.pop(fieldname, None)
+    return row
+
+
 def measure_deterministic(
     graph: Graph,
     parameters: SpannerParameters,

@@ -2,33 +2,64 @@
 
 Not a numbered table or figure of the paper, but the content of its two
 resource corollaries: the round complexity grows like ``n^rho`` and the
-spanner size like ``n^{1+1/kappa}``.  The experiment sweeps ``n`` on a fixed
-graph family, measures both, and fits power-law exponents.
+spanner size like ``n^{1+1/kappa}``.  The scenario sweeps ``n`` on a fixed
+graph family (one pipeline task per size), measures both, and fits power-law
+exponents in the merge.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from ..core.parameters import SpannerParameters
 from ..graphs.generators import make_workload
+from .registry import ScenarioSpec, register, size_sweep_expand
 from .results import ExperimentRecord
-from .runner import fit_power_law, measure_deterministic
+from .runner import fit_power_law, measure_deterministic, measurement_row
 from .workloads import default_parameters
 
 
-def run_scaling(
-    sizes: Sequence[int] = (100, 200, 400, 800),
-    epsilon: float = 0.25,
-    kappa: int = 3,
-    rho: float = 1.0 / 3.0,
-    family: str = "gnp",
-    seed: int = 23,
-    engine: str = "centralized",
-    sample_pairs: int = 150,
+def scaling_workload(params: Dict[str, object]):
+    """The swept-family graph at one size (shared with fingerprinting)."""
+    return make_workload(
+        str(params["family"]), int(params["size"]), seed=int(params["workload_seed"])
+    )
+
+
+def scaling_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Measure the deterministic algorithm at one size of the sweep."""
+    parameters = default_parameters(
+        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
+    )
+    size = int(params["size"])
+    graph = scaling_workload(params)
+    measurement, _ = measure_deterministic(
+        graph,
+        parameters,
+        graph_name=f"{params['family']}-{size}",
+        engine=str(params["engine"]),
+        sample_pairs=int(params["sample_pairs"]),
+        seed=int(params["seed"]),
+    )
+    row = measurement_row(measurement)
+    row["round_bound"] = parameters.round_bound(size)
+    row["size_bound"] = parameters.size_bound(size)
+    return {
+        "size": size,
+        "row": row,
+        "rounds": float(measurement.nominal_rounds or 0),
+        "edges": float(measurement.num_spanner_edges),
+        "guarantee_ok": bool(measurement.guarantee_satisfied),
+    }
+
+
+def scaling_merge(
+    defaults: Dict[str, object], payloads: List[Dict[str, object]]
 ) -> ExperimentRecord:
-    """Sweep ``n`` and check the round/size scaling exponents."""
-    parameters = default_parameters(epsilon, kappa, rho)
+    """Assemble the sweep and fit the round/size power-law exponents."""
+    epsilon = float(defaults["epsilon"])
+    kappa = int(defaults["kappa"])
+    rho = float(defaults["rho"])
+    sizes = [int(payload["size"]) for payload in payloads]
     record = ExperimentRecord(
         name="scaling-rounds-and-size",
         description=(
@@ -38,31 +69,16 @@ def run_scaling(
             "epsilon": epsilon,
             "kappa": kappa,
             "rho": rho,
-            "family": family,
+            "family": defaults["family"],
             "sizes": list(sizes),
-            "engine": engine,
+            "engine": defaults["engine"],
         },
     )
-    rounds: List[float] = []
-    edges: List[float] = []
-    guarantee_ok = True
-    for index, size in enumerate(sizes):
-        graph = make_workload(family, size, seed=seed + index)
-        measurement, result = measure_deterministic(
-            graph,
-            parameters,
-            graph_name=f"{family}-{size}",
-            engine=engine,
-            sample_pairs=sample_pairs,
-            seed=seed,
-        )
-        guarantee_ok = guarantee_ok and measurement.guarantee_satisfied
-        rounds.append(float(measurement.nominal_rounds or 0))
-        edges.append(float(measurement.num_spanner_edges))
-        row = measurement.to_row()
-        row["round_bound"] = parameters.round_bound(size)
-        row["size_bound"] = parameters.size_bound(size)
-        record.rows.append(row)
+    rounds = [float(payload["rounds"]) for payload in payloads]
+    edges = [float(payload["edges"]) for payload in payloads]
+    guarantee_ok = all(bool(payload["guarantee_ok"]) for payload in payloads)
+    for payload in payloads:
+        record.rows.append(payload["row"])
 
     record.series["n"] = [float(s) for s in sizes]
     record.series["nominal-rounds"] = rounds
@@ -85,3 +101,71 @@ def run_scaling(
     record.checks["rounds-grow-sublinearly"] = rounds_exponent < 1.0
     record.checks["size-grows-roughly-linearly"] = size_exponent < 1.0 + 1.0 / kappa + 0.35
     return record
+
+
+def scaling_spec(
+    sizes: Sequence[int] = (100, 200, 400, 800),
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    family: str = "gnp",
+    seed: int = 23,
+    engine: str = "centralized",
+    sample_pairs: int = 150,
+) -> ScenarioSpec:
+    """The scaling scenario at an arbitrary scale (the registry holds the CLI scale)."""
+    return ScenarioSpec(
+        name="scaling",
+        description=(
+            "Corollaries 2.9 / 2.13: n sweep fitting the round (~n^rho) and "
+            "size (~n^{1+1/kappa}) power-law exponents."
+        ),
+        tags=("scaling", "paper"),
+        defaults={
+            "sizes": list(sizes),
+            "epsilon": epsilon,
+            "kappa": kappa,
+            "rho": rho,
+            "family": family,
+            "seed": seed,
+            "engine": engine,
+            "sample_pairs": sample_pairs,
+        },
+        expand=size_sweep_expand,
+        workload=scaling_workload,
+        workload_keys=("family", "size", "workload_seed"),
+        task=scaling_task,
+        merge=scaling_merge,
+        version="1",
+    )
+
+
+#: The registered, CLI-scale scaling scenario.
+SCALING_SPEC = register(scaling_spec(sizes=(80, 160, 320, 640), sample_pairs=100))
+
+
+def run_scaling(
+    sizes: Sequence[int] = (100, 200, 400, 800),
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    family: str = "gnp",
+    seed: int = 23,
+    engine: str = "centralized",
+    sample_pairs: int = 150,
+) -> ExperimentRecord:
+    """Sweep ``n`` and check the round/size scaling exponents."""
+    from .pipeline import run_scenario
+
+    return run_scenario(
+        scaling_spec(
+            sizes=sizes,
+            epsilon=epsilon,
+            kappa=kappa,
+            rho=rho,
+            family=family,
+            seed=seed,
+            engine=engine,
+            sample_pairs=sample_pairs,
+        )
+    )

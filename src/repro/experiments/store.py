@@ -1,0 +1,154 @@
+"""Content-addressed on-disk store for experiment task results.
+
+Every pipeline task is addressed by a key derived from the scenario name, the
+full task parameter dict, the workload fingerprint and the scenario's
+code-relevant ``version`` (see :meth:`ResultStore.task_key`).  Any change to
+any of those inputs changes the key, so stale entries are never returned --
+re-runs after a parameter or workload change recompute exactly the
+invalidated tasks and nothing else.
+
+Layout::
+
+    <root>/
+      <scenario-name>/
+        <key>.json       # {"schema", "scenario", "params", "seed",
+                         #  "workload_fingerprint", "version", "payload"}
+
+Entries hold the *canonical* JSON payload the pipeline merges, so a cache hit
+is byte-for-byte indistinguishable from a fresh computation.  Writes are
+atomic (temp file + rename); concurrent writers of the same key converge on
+identical content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from .registry import canonical_json
+
+PathLike = Union[str, Path]
+
+STORE_SCHEMA = "repro-result-store/v1"
+
+
+class ResultStore:
+    """Content-addressed store of per-task experiment payloads."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def task_key(
+        scenario: str,
+        params: Mapping[str, object],
+        workload_fingerprint: str,
+        version: str,
+    ) -> str:
+        """The content address of one task."""
+        payload = canonical_json(
+            {
+                "scenario": scenario,
+                "params": dict(params),
+                "workload": workload_fingerprint,
+                "version": version,
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def _path(self, scenario: str, key: str) -> Path:
+        return self.root / scenario / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, scenario: str, key: str) -> Optional[Dict[str, object]]:
+        """Return the stored payload for ``key``, or ``None`` on a miss."""
+        path = self._path(scenario, key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("schema") != STORE_SCHEMA:
+            return None
+        return entry.get("payload")
+
+    def put(
+        self,
+        scenario: str,
+        key: str,
+        payload: Mapping[str, object],
+        params: Mapping[str, object],
+        seed: int,
+        workload_fingerprint: str,
+        version: str,
+    ) -> Path:
+        """Atomically persist a task payload under its key."""
+        path = self._path(scenario, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": STORE_SCHEMA,
+            "scenario": scenario,
+            "params": dict(params),
+            "seed": seed,
+            "workload_fingerprint": workload_fingerprint,
+            "version": version,
+            "payload": payload,
+        }
+        text = json.dumps(entry, indent=2, sort_keys=True, default=str)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # Inspection / maintenance
+    # ------------------------------------------------------------------
+    def entries(self, scenario: Optional[str] = None) -> Iterator[Tuple[str, str]]:
+        """Yield ``(scenario, key)`` for every stored entry."""
+        scenarios = [scenario] if scenario is not None else sorted(
+            p.name for p in self.root.iterdir() if p.is_dir()
+        )
+        for name in scenarios:
+            directory = self.root / name
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                yield name, path.stem
+
+    def size(self, scenario: Optional[str] = None) -> int:
+        """Number of stored entries (optionally for one scenario)."""
+        return sum(1 for _ in self.entries(scenario))
+
+    def prune(self, scenario: Optional[str] = None) -> int:
+        """Delete stored entries; returns the number removed."""
+        removed = 0
+        for name, key in list(self.entries(scenario)):
+            self._path(name, key).unlink(missing_ok=True)
+            removed += 1
+        return removed

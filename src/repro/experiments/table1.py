@@ -16,6 +16,10 @@ The reproduction has two parts:
    sweep.  The shape to reproduce is the running-time gap: the new
    algorithm's nominal round count grows like ``n^rho`` (sublinear), while
    the surrogate's grows superlinearly in ``n``.
+
+This module holds only the paper-specific logic: the per-size measurement
+task, the deterministic merge that rebuilds the table, and the
+:class:`ScenarioSpec` registering both with the experiment pipeline.
 """
 
 from __future__ import annotations
@@ -25,35 +29,97 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.bounds import beta_elkin05, beta_new, table1_rows
 from ..baselines.elkin05_surrogate import build_elkin05_surrogate_spanner
-from ..core.parameters import SpannerParameters
 from ..graphs.generators import make_workload
+from .registry import ScenarioSpec, register, size_sweep_expand
 from .results import ExperimentRecord
-from .runner import fit_power_law, measure_baseline, measure_deterministic
+from .runner import fit_power_law, measure_baseline, measure_deterministic, measurement_row
 from .workloads import default_parameters
 
+_KAPPA_SWEEP = [4, 8, 16, 32, 64, 128, 256, 512]
 
-def run_table1(
-    sizes: Sequence[int] = (100, 200, 400),
-    epsilon: float = 0.25,
-    kappa: int = 3,
-    rho: float = 1.0 / 3.0,
-    family: str = "gnp",
-    edge_probability: Optional[float] = 0.15,
-    seed: int = 11,
-    sample_pairs: int = 200,
+
+def _workload_kwargs(params: Dict[str, object]) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    if params["family"] == "gnp" and params.get("edge_probability") is not None:
+        kwargs["p"] = params["edge_probability"]
+    return kwargs
+
+
+def table1_workload(params: Dict[str, object]):
+    """The measured-sweep graph at one grid point (shared with fingerprinting)."""
+    return make_workload(
+        str(params["family"]),
+        int(params["size"]),
+        seed=int(params["workload_seed"]),
+        **_workload_kwargs(params),
+    )
+
+
+def table1_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Measure the new algorithm and the Elkin'05-style surrogate at one size."""
+    parameters = default_parameters(
+        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
+    )
+    graph = table1_workload(params)
+    family = str(params["family"])
+    size = int(params["size"])
+    sample_pairs = int(params["sample_pairs"])
+    stretch_seed = int(params["seed"])
+
+    measurement, result = measure_deterministic(
+        graph,
+        parameters,
+        graph_name=f"{family}-{size}",
+        engine="centralized",
+        sample_pairs=sample_pairs,
+        seed=stretch_seed,
+    )
+
+    # Center-selection cost: the one step the paper derandomizes.  The new
+    # algorithm pays a ruling-set computation, O(c * n^{1/c} * 2 delta_i)
+    # rounds per phase with popular clusters; a sequential-scan selection
+    # (the Elkin'05-style approach) pays O(|W_i| * 2 delta_i).
+    c = parameters.domination_multiplier
+    base = max(2, math.ceil(graph.num_vertices ** (1.0 / c)))
+    selection_new = 0.0
+    selection_sequential = 0.0
+    for phase in result.phase_records:
+        if phase.index >= parameters.ell or phase.num_popular == 0:
+            continue
+        selection_new += c * base * 2 * phase.delta
+        selection_sequential += phase.num_popular * 2 * phase.delta
+
+    surrogate_measurement, _ = measure_baseline(
+        graph,
+        lambda: build_elkin05_surrogate_spanner(graph, parameters),
+        graph_name=f"{family}-{size}",
+        sample_pairs=sample_pairs,
+        seed=stretch_seed,
+    )
+
+    return {
+        "size": size,
+        "row_new": dict(measurement_row(measurement), kind="measured"),
+        "row_surrogate": dict(measurement_row(surrogate_measurement), kind="measured"),
+        "rounds_new": float(measurement.nominal_rounds or 0),
+        "rounds_surrogate": float(surrogate_measurement.nominal_rounds or 0),
+        "selection_new": selection_new,
+        "selection_sequential": selection_sequential,
+        "edges_new": float(measurement.num_spanner_edges),
+        "guarantee_ok": bool(
+            measurement.guarantee_satisfied and surrogate_measurement.guarantee_satisfied
+        ),
+    }
+
+
+def table1_merge(
+    defaults: Dict[str, object], payloads: List[Dict[str, object]]
 ) -> ExperimentRecord:
-    """Regenerate Table 1 (theory + measured deterministic-CONGEST comparison).
-
-    The measured sweep defaults to moderately dense ``G(n, p)`` graphs
-    (constant ``p``): there a constant fraction of the clusters is popular in
-    phase 0, which is the regime where the sequential-scan selection of the
-    Elkin'05-style approach pays ``Theta(n)`` rounds while the ruling-set
-    selection pays only ``~n^{1/c}`` -- the running-time gap Table 1 is about.
-    """
-    parameters = default_parameters(epsilon, kappa, rho)
-    workload_kwargs: Dict[str, object] = {}
-    if family == "gnp" and edge_probability is not None:
-        workload_kwargs["p"] = edge_probability
+    """Rebuild Table 1 from the per-size payloads (theory rows + measured sweep)."""
+    epsilon = float(defaults["epsilon"])
+    kappa = int(defaults["kappa"])
+    rho = float(defaults["rho"])
+    sizes = [int(payload["size"]) for payload in payloads]
     record = ExperimentRecord(
         name="table1-deterministic-congest",
         description=(
@@ -65,7 +131,7 @@ def run_table1(
             "kappa": kappa,
             "rho": rho,
             "sizes": list(sizes),
-            "family": family,
+            "family": defaults["family"],
         },
     )
 
@@ -78,68 +144,27 @@ def run_table1(
         entry["kind"] = "theory"
         record.rows.append(entry)
 
-    kappa_sweep = [4, 8, 16, 32, 64, 128, 256, 512]
-    beta_old_series = [beta_elkin05(epsilon, k, rho) for k in kappa_sweep]
-    beta_new_series = [beta_new(epsilon, k, rho) for k in kappa_sweep]
-    record.series["kappa-sweep"] = [float(k) for k in kappa_sweep]
+    beta_old_series = [beta_elkin05(epsilon, k, rho) for k in _KAPPA_SWEEP]
+    beta_new_series = [beta_new(epsilon, k, rho) for k in _KAPPA_SWEEP]
+    record.series["kappa-sweep"] = [float(k) for k in _KAPPA_SWEEP]
     record.series["beta-elkin05"] = beta_old_series
     record.series["beta-new"] = beta_new_series
     record.checks["beta-new-eventually-smaller"] = beta_new_series[-1] < beta_old_series[-1]
 
     # ------------------------------------------------------------------
-    # Part 2: measured comparison on an n sweep.
+    # Part 2: the measured comparison, merged in sweep order.
     # ------------------------------------------------------------------
-    new_rounds: List[float] = []
-    surrogate_rounds: List[float] = []
-    new_selection_rounds: List[float] = []
-    surrogate_selection_rounds: List[float] = []
-    new_edges: List[float] = []
     guarantee_ok = True
-    c = parameters.domination_multiplier
-    for index, size in enumerate(sizes):
-        graph = make_workload(family, size, seed=seed + index, **workload_kwargs)
-        measurement, result = measure_deterministic(
-            graph,
-            parameters,
-            graph_name=f"{family}-{size}",
-            engine="centralized",
-            sample_pairs=sample_pairs,
-            seed=seed,
-        )
-        row = measurement.to_row()
-        row["kind"] = "measured"
-        record.rows.append(row)
-        new_rounds.append(float(measurement.nominal_rounds or 0))
-        new_edges.append(float(measurement.num_spanner_edges))
-        guarantee_ok = guarantee_ok and measurement.guarantee_satisfied
+    for payload in payloads:
+        record.rows.append(payload["row_new"])
+        record.rows.append(payload["row_surrogate"])
+        guarantee_ok = guarantee_ok and bool(payload["guarantee_ok"])
 
-        # Center-selection cost: the one step the paper derandomizes.  The new
-        # algorithm pays a ruling-set computation, O(c * n^{1/c} * 2 delta_i)
-        # rounds per phase with popular clusters; a sequential-scan selection
-        # (the Elkin'05-style approach) pays O(|W_i| * 2 delta_i).
-        base = max(2, math.ceil(graph.num_vertices ** (1.0 / c)))
-        selection_new = 0.0
-        selection_sequential = 0.0
-        for phase in result.phase_records:
-            if phase.index >= parameters.ell or phase.num_popular == 0:
-                continue
-            selection_new += c * base * 2 * phase.delta
-            selection_sequential += phase.num_popular * 2 * phase.delta
-        new_selection_rounds.append(selection_new)
-        surrogate_selection_rounds.append(selection_sequential)
-
-        surrogate_measurement, _ = measure_baseline(
-            graph,
-            lambda g=graph: build_elkin05_surrogate_spanner(g, parameters),
-            graph_name=f"{family}-{size}",
-            sample_pairs=sample_pairs,
-            seed=seed,
-        )
-        surrogate_row = surrogate_measurement.to_row()
-        surrogate_row["kind"] = "measured"
-        record.rows.append(surrogate_row)
-        surrogate_rounds.append(float(surrogate_measurement.nominal_rounds or 0))
-        guarantee_ok = guarantee_ok and surrogate_measurement.guarantee_satisfied
+    new_rounds = [float(p["rounds_new"]) for p in payloads]
+    surrogate_rounds = [float(p["rounds_surrogate"]) for p in payloads]
+    new_selection_rounds = [float(p["selection_new"]) for p in payloads]
+    surrogate_selection_rounds = [float(p["selection_sequential"]) for p in payloads]
+    new_edges = [float(p["edges_new"]) for p in payloads]
 
     record.series["n"] = [float(s) for s in sizes]
     record.series["rounds-new"] = new_rounds
@@ -180,3 +205,78 @@ def run_table1(
         "to 1, so only relative shapes (who grows faster in n / kappa) are meaningful."
     )
     return record
+
+
+def table1_spec(
+    sizes: Sequence[int] = (100, 200, 400),
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    family: str = "gnp",
+    edge_probability: Optional[float] = 0.15,
+    seed: int = 11,
+    sample_pairs: int = 200,
+) -> ScenarioSpec:
+    """The Table 1 scenario at an arbitrary scale (the registry holds the CLI scale)."""
+    return ScenarioSpec(
+        name="table1",
+        description=(
+            "Table 1: deterministic CONGEST near-additive spanner algorithms; "
+            "theory rows plus a measured new-vs-Elkin'05-surrogate n sweep."
+        ),
+        tags=("table", "paper", "congest"),
+        defaults={
+            "sizes": list(sizes),
+            "epsilon": epsilon,
+            "kappa": kappa,
+            "rho": rho,
+            "family": family,
+            "edge_probability": edge_probability,
+            "seed": seed,
+            "sample_pairs": sample_pairs,
+        },
+        expand=size_sweep_expand,
+        workload=table1_workload,
+        workload_keys=("family", "size", "workload_seed", "edge_probability"),
+        task=table1_task,
+        merge=table1_merge,
+        version="1",
+    )
+
+
+#: The registered, CLI-scale Table 1 scenario.
+TABLE1_SPEC = register(table1_spec(sizes=(80, 160, 320), sample_pairs=120))
+
+
+def run_table1(
+    sizes: Sequence[int] = (100, 200, 400),
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    family: str = "gnp",
+    edge_probability: Optional[float] = 0.15,
+    seed: int = 11,
+    sample_pairs: int = 200,
+) -> ExperimentRecord:
+    """Regenerate Table 1 (theory + measured deterministic-CONGEST comparison).
+
+    The measured sweep defaults to moderately dense ``G(n, p)`` graphs
+    (constant ``p``): there a constant fraction of the clusters is popular in
+    phase 0, which is the regime where the sequential-scan selection of the
+    Elkin'05-style approach pays ``Theta(n)`` rounds while the ruling-set
+    selection pays only ``~n^{1/c}`` -- the running-time gap Table 1 is about.
+    """
+    from .pipeline import run_scenario
+
+    return run_scenario(
+        table1_spec(
+            sizes=sizes,
+            epsilon=epsilon,
+            kappa=kappa,
+            rho=rho,
+            family=family,
+            edge_probability=edge_probability,
+            seed=seed,
+            sample_pairs=sample_pairs,
+        )
+    )

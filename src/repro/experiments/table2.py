@@ -16,6 +16,9 @@ measured *multiplicative* distortion of long distances close to 1 (their extra
 cost is an additive term), whereas the multiplicative baselines show ratios
 approaching ``2 kappa - 1`` on long-diameter inputs, while all of them produce
 spanners of comparable (``~ n^{1 + 1/kappa}``) size.
+
+The engine/baseline axis is the scenario's *matrix*: one pipeline task per
+implemented algorithm, all measured on the same shared workload graph.
 """
 
 from __future__ import annotations
@@ -27,28 +30,93 @@ from ..baselines.baswana_sen import build_baswana_sen_spanner
 from ..baselines.elkin_neiman import build_elkin_neiman_spanner
 from ..baselines.elkin_peleg import build_elkin_peleg_spanner
 from ..baselines.greedy import build_greedy_spanner
-from ..graphs.generators import clustered_path_graph, gnp_random_graph
+from ..graphs.generators import clustered_path_graph
 from ..graphs.graph import Graph
+from .registry import ScenarioSpec, register
 from .results import ExperimentRecord
-from .runner import measure_baseline, measure_deterministic
+from .runner import measure_baseline, measure_deterministic, measurement_row
 from .workloads import default_parameters
 
+def table2_workload(params: Dict[str, object]) -> Graph:
+    """The shared workload graph every algorithm of the matrix runs on."""
+    graph = params.get("graph")
+    if isinstance(graph, Graph):
+        return graph
+    n = int(params["n"])
+    return clustered_path_graph(max(2, n // 10), 10)
 
-def run_table2(
-    n: int = 200,
-    epsilon: float = 0.25,
-    kappa: int = 3,
-    rho: float = 1.0 / 3.0,
-    graph: Optional[Graph] = None,
-    seed: int = 5,
-    sample_pairs: int = 300,
-    include_distributed: bool = True,
-    include_greedy: bool = True,
+
+def table2_expand(defaults: Dict[str, object]) -> List[Dict[str, object]]:
+    """One task per implemented algorithm, gated like the original table."""
+    graph = defaults.get("graph")
+    if isinstance(graph, Graph):
+        num_vertices = graph.num_vertices
+    else:
+        num_vertices = max(2, int(defaults["n"]) // 10) * 10
+    algorithms = ["new-centralized"]
+    if defaults.get("include_distributed", True) and num_vertices <= 300:
+        algorithms.append("new-distributed")
+    algorithms += ["elkin-neiman-2017", "elkin-peleg-2001", "baswana-sen"]
+    if defaults.get("include_greedy", True) and num_vertices <= 400:
+        algorithms.append("greedy")
+    return [dict(defaults, algorithm=algorithm) for algorithm in algorithms]
+
+
+def table2_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Measure one algorithm of the matrix on the shared workload."""
+    algorithm = str(params["algorithm"])
+    parameters = default_parameters(
+        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
+    )
+    graph = table2_workload(params)
+    sample_pairs = int(params["sample_pairs"])
+    run_seed = int(params["seed"])
+
+    if algorithm in ("new-centralized", "new-distributed"):
+        engine = algorithm.split("-", 1)[1]
+        measurement, _ = measure_deterministic(
+            graph,
+            parameters,
+            graph_name="workload",
+            engine=engine,
+            sample_pairs=sample_pairs,
+        )
+    else:
+        kappa = int(params["kappa"])
+        builders = {
+            "elkin-neiman-2017": lambda: build_elkin_neiman_spanner(
+                graph, parameters, seed=run_seed
+            ),
+            "elkin-peleg-2001": lambda: build_elkin_peleg_spanner(graph, parameters),
+            "baswana-sen": lambda: build_baswana_sen_spanner(graph, kappa, seed=run_seed),
+            "greedy": lambda: build_greedy_spanner(graph, 2 * kappa - 1),
+        }
+        measurement, _ = measure_baseline(
+            graph,
+            builders[algorithm],
+            graph_name="workload",
+            sample_pairs=sample_pairs,
+            seed=run_seed,
+        )
+
+    return {
+        "algorithm": algorithm,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "row": dict(measurement_row(measurement), kind="measured"),
+        "guarantee_ok": bool(measurement.guarantee_satisfied),
+    }
+
+
+def table2_merge(
+    defaults: Dict[str, object], payloads: List[Dict[str, object]]
 ) -> ExperimentRecord:
-    """Regenerate Table 2: the survey rows plus measured rows for implemented algorithms."""
-    parameters = default_parameters(epsilon, kappa, rho)
-    if graph is None:
-        graph = clustered_path_graph(max(2, n // 10), 10)
+    """Rebuild Table 2: formula rows plus the measured matrix rows."""
+    epsilon = float(defaults["epsilon"])
+    kappa = int(defaults["kappa"])
+    rho = float(defaults["rho"])
+    num_vertices = int(payloads[0]["n"])
+    num_edges = int(payloads[0]["m"])
     record = ExperimentRecord(
         name="table2-survey",
         description=(
@@ -59,51 +127,19 @@ def run_table2(
             "epsilon": epsilon,
             "kappa": kappa,
             "rho": rho,
-            "n": graph.num_vertices,
-            "m": graph.num_edges,
+            "n": num_vertices,
+            "m": num_edges,
         },
     )
 
-    for row in table2_rows(epsilon, kappa, rho, graph.num_vertices, graph.num_edges):
+    for row in table2_rows(epsilon, kappa, rho, num_vertices, num_edges):
         entry = row.to_dict()
         entry["kind"] = "theory"
         record.rows.append(entry)
 
-    measured: List[Dict[str, object]] = []
-    guarantee_ok = True
-
-    new_measurement, _ = measure_deterministic(
-        graph, parameters, graph_name="workload", engine="centralized", sample_pairs=sample_pairs
-    )
-    measured.append(new_measurement.to_row())
-    guarantee_ok = guarantee_ok and new_measurement.guarantee_satisfied
-
-    if include_distributed and graph.num_vertices <= 300:
-        distributed_measurement, _ = measure_deterministic(
-            graph, parameters, graph_name="workload", engine="distributed", sample_pairs=sample_pairs
-        )
-        measured.append(distributed_measurement.to_row())
-        guarantee_ok = guarantee_ok and distributed_measurement.guarantee_satisfied
-
-    baseline_builders = [
-        ("elkin-neiman-2017", lambda: build_elkin_neiman_spanner(graph, parameters, seed=seed)),
-        ("elkin-peleg-2001", lambda: build_elkin_peleg_spanner(graph, parameters)),
-        ("baswana-sen", lambda: build_baswana_sen_spanner(graph, kappa, seed=seed)),
-    ]
-    if include_greedy and graph.num_vertices <= 400:
-        baseline_builders.append(
-            ("greedy", lambda: build_greedy_spanner(graph, 2 * kappa - 1))
-        )
-    for _name, builder in baseline_builders:
-        measurement, _ = measure_baseline(
-            graph, builder, graph_name="workload", sample_pairs=sample_pairs, seed=seed
-        )
-        measured.append(measurement.to_row())
-        guarantee_ok = guarantee_ok and measurement.guarantee_satisfied
-
-    for row in measured:
-        row["kind"] = "measured"
-        record.rows.append(row)
+    measured = [payload["row"] for payload in payloads]
+    guarantee_ok = all(bool(payload["guarantee_ok"]) for payload in payloads)
+    record.rows.extend(measured)
 
     near_additive = [
         row for row in measured if "deterministic" in str(row["algorithm"]) or "elkin" in str(row["algorithm"])
@@ -120,10 +156,89 @@ def run_table2(
         )
     sizes = [float(row["spanner_edges"]) for row in measured]
     record.checks["all-spanners-sparser-than-input"] = all(
-        s <= graph.num_edges + graph.num_vertices for s in sizes
+        s <= num_edges + num_vertices for s in sizes
     )
     record.add_note(
         "Theory rows evaluate the published formulas with O(1) constants set to 1; "
         "measured rows report sampled-pair stretch on the shared workload graph."
     )
     return record
+
+
+def table2_spec(
+    n: int = 200,
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    graph: Optional[Graph] = None,
+    seed: int = 5,
+    sample_pairs: int = 300,
+    include_distributed: bool = True,
+    include_greedy: bool = True,
+) -> ScenarioSpec:
+    """The Table 2 scenario at an arbitrary scale (the registry holds the CLI scale).
+
+    Passing an explicit ``graph`` puts a live Graph into the parameters, so
+    the pipeline will refuse to run the spec with ``jobs > 1`` or a store
+    attached — use it for in-process serial runs only.
+    """
+    defaults: Dict[str, object] = {
+        "n": n,
+        "epsilon": epsilon,
+        "kappa": kappa,
+        "rho": rho,
+        "seed": seed,
+        "sample_pairs": sample_pairs,
+        "include_distributed": include_distributed,
+        "include_greedy": include_greedy,
+    }
+    if graph is not None:
+        defaults["graph"] = graph
+    return ScenarioSpec(
+        name="table2",
+        description=(
+            "Table 2 (Appendix B): survey formula rows plus a measured "
+            "engine/baseline matrix on a shared clustered-path workload."
+        ),
+        tags=("table", "paper", "baselines"),
+        defaults=defaults,
+        expand=table2_expand,
+        workload=table2_workload,
+        workload_keys=("n",),
+        task=table2_task,
+        merge=table2_merge,
+        version="1",
+    )
+
+
+#: The registered, CLI-scale Table 2 scenario.
+TABLE2_SPEC = register(table2_spec(n=140, sample_pairs=150))
+
+
+def run_table2(
+    n: int = 200,
+    epsilon: float = 0.25,
+    kappa: int = 3,
+    rho: float = 1.0 / 3.0,
+    graph: Optional[Graph] = None,
+    seed: int = 5,
+    sample_pairs: int = 300,
+    include_distributed: bool = True,
+    include_greedy: bool = True,
+) -> ExperimentRecord:
+    """Regenerate Table 2: the survey rows plus measured rows for implemented algorithms."""
+    from .pipeline import run_scenario
+
+    return run_scenario(
+        table2_spec(
+            n=n,
+            epsilon=epsilon,
+            kappa=kappa,
+            rho=rho,
+            graph=graph,
+            seed=seed,
+            sample_pairs=sample_pairs,
+            include_distributed=include_distributed,
+            include_greedy=include_greedy,
+        )
+    )

@@ -13,7 +13,13 @@ the regimes its analysis distinguishes:
 * ``caterpillar`` / ``tree`` -- already-sparse graphs (sanity: the spanner
   should keep almost everything);
 * ``hypercube`` / ``regular`` -- low-diameter expander-like graphs (stressing
-  the interconnection step).
+  the interconnection step);
+* ``small-world`` -- ring lattices with rewired shortcuts (locally dense,
+  globally short after a few chords);
+* ``geometric`` -- random geometric graphs (spatial clustering, non-uniform
+  degrees);
+* ``multi-component`` -- disconnected unions of structurally distinct pieces
+  (component structure must be preserved exactly).
 """
 
 from __future__ import annotations
@@ -55,6 +61,11 @@ def experiment_workloads(scale: int = 200, seed: int = 7) -> Dict[str, Graph]:
         "tree": generators.random_tree(scale, seed=seed + 3),
         "hypercube": generators.hypercube_graph(max(3, scale.bit_length() - 1)),
         "regular": generators.random_regular_like_graph(scale, 4, seed=seed + 4),
+        "small-world": generators.watts_strogatz_graph(
+            scale, nearest_neighbors=4, rewire_probability=0.1, seed=seed + 5
+        ),
+        "geometric": generators.make_workload("geometric", scale, seed=seed + 6),
+        "multi-component": generators.make_workload("multi_component", scale, seed=seed + 7),
     }
 
 

@@ -311,6 +311,105 @@ def preferential_attachment_graph(num_vertices: int, edges_per_vertex: int, seed
     return g
 
 
+def watts_strogatz_graph(
+    num_vertices: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+) -> Graph:
+    """Watts-Strogatz small-world graph: a ring lattice with rewired chords.
+
+    Starts from a ring where every vertex is joined to its ``nearest_neighbors``
+    closest ring neighbours (rounded up to an even count), then rewires each
+    edge with probability ``rewire_probability`` to a uniformly random
+    endpoint.  Low rewiring keeps the large-diameter lattice structure; a few
+    shortcuts collapse the diameter while keeping the graph locally dense --
+    the regime where the additive term of a near-additive spanner dominates
+    short distances but long distances are preserved almost exactly.
+    """
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    if num_vertices < 2:
+        return g
+    half = max(1, (nearest_neighbors + 1) // 2)
+    for v in range(num_vertices):
+        for offset in range(1, half + 1):
+            u = (v + offset) % num_vertices
+            if u == v:
+                continue
+            if rng.random() < rewire_probability:
+                target = rng.randrange(num_vertices)
+                attempts = 0
+                while (target == v or g.has_edge(v, target)) and attempts < 10:
+                    target = rng.randrange(num_vertices)
+                    attempts += 1
+                if target != v and not g.has_edge(v, target):
+                    g.add_edge(v, target)
+                    continue
+            g.add_edge(v, u)
+    return g
+
+
+def random_geometric_graph(
+    num_vertices: int,
+    radius: float = 0.15,
+    seed: int = 0,
+) -> Graph:
+    """Random geometric graph: uniform points in the unit square, edges below ``radius``.
+
+    Produces spatially clustered graphs with large hop diameter and strongly
+    non-uniform degrees -- a structured counterpoint to ``G(n, p)`` where the
+    superclustering phases see genuinely local neighbourhoods.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(num_vertices)]
+    g = Graph(num_vertices)
+    r2 = radius * radius
+    for u in range(num_vertices):
+        xu, yu = points[u]
+        for v in range(u + 1, num_vertices):
+            xv, yv = points[v]
+            dx = xu - xv
+            dy = yu - yv
+            if dx * dx + dy * dy <= r2:
+                g.add_edge(u, v)
+    return g
+
+
+def multi_component_graph(
+    num_components: int,
+    component_size: int,
+    seed: int = 0,
+) -> Graph:
+    """Disconnected union of structurally distinct components.
+
+    Cycles through connected-random, grid-like (clustered path) and tree
+    components so a single input exercises several regimes at once while
+    staying disconnected.  Spanner constructions must preserve the component
+    structure exactly and never pay rounds or edges across components.
+    """
+    if num_components < 1:
+        raise ValueError("num_components must be >= 1")
+    components: List[Graph] = []
+    for index in range(num_components):
+        kind = index % 3
+        if kind == 0:
+            components.append(
+                random_connected_graph(component_size, extra_edges=component_size, seed=seed + index)
+            )
+        elif kind == 1:
+            clusters = max(2, component_size // 4)
+            members = max(2, component_size // clusters)
+            components.append(clustered_path_graph(clusters, members))
+        else:
+            components.append(random_tree(component_size, seed=seed + index))
+    return disjoint_union(components)
+
+
 def disjoint_union(graphs: Sequence[Graph]) -> Graph:
     """Disjoint union of several graphs (vertex IDs are shifted)."""
     total = sum(g.num_vertices for g in graphs)
@@ -358,6 +457,9 @@ WORKLOAD_FAMILIES: Tuple[str, ...] = (
     "preferential",
     "regular",
     "random_connected",
+    "small_world",
+    "geometric",
+    "multi_component",
 )
 
 
@@ -411,4 +513,19 @@ def make_workload(family: str, size: int, seed: int = 0, **kwargs) -> Graph:
         return random_regular_like_graph(size, kwargs.get("degree", 4), seed=seed)
     if family == "random_connected":
         return random_connected_graph(size, kwargs.get("extra_edges", 2 * size), seed=seed)
+    if family == "small_world":
+        return watts_strogatz_graph(
+            size,
+            nearest_neighbors=kwargs.get("nearest_neighbors", 4),
+            rewire_probability=kwargs.get("rewire_probability", 0.1),
+            seed=seed,
+        )
+    if family == "geometric":
+        # Radius ~ sqrt(6/(pi n)) keeps the expected degree near 6 at every n.
+        default_radius = min(1.0, (6.0 / (3.141592653589793 * max(size, 1))) ** 0.5)
+        return random_geometric_graph(size, kwargs.get("radius", default_radius), seed=seed)
+    if family == "multi_component":
+        components = kwargs.get("components", max(2, size // 24))
+        component_size = max(3, size // components)
+        return multi_component_graph(components, component_size, seed=seed)
     raise ValueError(f"unknown workload family: {family!r}")

@@ -1,0 +1,55 @@
+"""Subprocess smoke tests for the examples/ scripts on tiny inputs.
+
+Each example is a user-facing entry point with its own argv handling and
+imports; these tests run them exactly as a user would (fresh interpreter,
+``PYTHONPATH=src``) and assert they exit cleanly and print their headline
+output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+SRC = REPO_ROOT / "src"
+
+#: (script, tiny argv, a string its stdout must contain)
+CASES = [
+    ("quickstart.py", ["40", "0.1"], "input graph"),
+    ("compare_baselines.py", ["40"], "new-deterministic"),
+    ("congestion_audit.py", ["40"], "congestion"),
+    ("phase_dynamics.py", ["3", "8"], "phase"),
+    ("approximate_shortest_paths.py", ["3", "6"], "spanner"),
+]
+
+
+def _run_example(script: str, argv) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(SRC) + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.mark.parametrize("script,argv,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_cleanly(script, argv, expected):
+    proc = _run_example(script, argv)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expected.lower() in proc.stdout.lower(), proc.stdout[-2000:]
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == {case[0] for case in CASES}

@@ -31,3 +31,9 @@ def test_kappa_ablation_checks_pass(small_workload):
     record = run_kappa_ablation(kappas=(2, 3), graph=small_workload, sample_pairs=60)
     assert record.all_checks_passed, record.checks
     assert [row["kappa"] for row in record.rows] == [2, 3]
+
+
+def test_empty_sweep_yields_empty_record():
+    record = run_epsilon_ablation(epsilons=())
+    assert record.rows == []
+    assert record.all_checks_passed

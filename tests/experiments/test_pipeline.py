@@ -1,0 +1,207 @@
+"""Tests for the experiment pipeline: determinism, parallelism, manifests.
+
+The central contract: ``--jobs 1`` and ``--jobs N`` produce byte-identical
+serialized :class:`ExperimentRecord`s, and timing never leaks into a record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_spec, run_scenario, run_suite
+from repro.experiments.ablation import epsilon_ablation_spec
+from repro.experiments.pipeline import canonicalize_payload, expand_tasks
+from repro.experiments.registry import ScenarioSpec
+from repro.experiments.results import ExperimentRecord
+from repro.experiments.table1 import table1_spec
+
+
+def _suite_specs():
+    """A cheap but representative suite: sweep, ablation, figure, family."""
+    return [
+        table1_spec(sizes=(40, 80), sample_pairs=40),
+        epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40),
+        get_spec("figure1"),
+        get_spec("family-multi-component"),
+    ]
+
+
+def _canonical_records(result):
+    return {name: record.to_canonical_json() for name, record in result.records.items()}
+
+
+class TestDeterminism:
+    def test_jobs1_and_jobs4_byte_identical(self):
+        specs = _suite_specs()
+        serial = run_suite(specs, jobs=1)
+        parallel = run_suite(specs, jobs=4)
+        assert serial.ok and parallel.ok
+        assert _canonical_records(serial) == _canonical_records(parallel)
+
+    def test_repeated_serial_runs_identical(self):
+        specs = [table1_spec(sizes=(40, 80), sample_pairs=40)]
+        assert _canonical_records(run_suite(specs)) == _canonical_records(run_suite(specs))
+
+    def test_no_timing_fields_in_records(self):
+        record = run_scenario(epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40))
+        for row in record.rows:
+            assert "seconds" not in row
+            assert "wall_seconds" not in row
+
+    def test_canonicalize_payload_strips_timing_recursively(self):
+        payload = {
+            "rows": [{"a": 1, "seconds": 0.5}],
+            "nested": {"wall_seconds": 1.0, "keep": 2},
+            "seconds": 3.0,
+        }
+        assert canonicalize_payload(payload) == {
+            "rows": [{"a": 1}],
+            "nested": {"keep": 2},
+        }
+
+    def test_canonicalize_payload_json_round_trips(self):
+        assert canonicalize_payload({"t": (1, 2)}) == {"t": [1, 2]}
+
+
+class TestManifest:
+    def test_manifest_reports_tasks_and_wallclock(self):
+        result = run_suite([epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40)])
+        manifest = result.manifest()
+        assert manifest["total_tasks"] == 2
+        assert manifest["total_computed"] == 2
+        assert manifest["total_cache_hits"] == 0
+        assert manifest["all_ok"] is True
+        (entry,) = manifest["scenarios"]
+        assert entry["name"] == "ablation-epsilon"
+        assert entry["status"] == "ok"
+        assert entry["wall_seconds"] >= 0
+        assert entry["record_digest"]
+
+    def test_task_failure_reported_not_raised(self):
+        def exploding_task(params, seed):
+            raise RuntimeError("boom")
+
+        spec = ScenarioSpec(
+            name="exploding",
+            description="",
+            task=exploding_task,
+            merge=lambda defaults, payloads: ExperimentRecord(name="x", description=""),
+            defaults={"a": 1},
+        )
+        result = run_suite([spec])
+        assert not result.ok
+        (outcome,) = result.outcomes
+        assert "boom" in outcome.error
+        assert result.manifest()["scenarios"][0]["status"] == "error"
+
+    def test_run_scenario_raises_on_failure(self):
+        def exploding_task(params, seed):
+            raise RuntimeError("boom")
+
+        spec = ScenarioSpec(
+            name="exploding2",
+            description="",
+            task=exploding_task,
+            merge=lambda defaults, payloads: ExperimentRecord(name="x", description=""),
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            run_scenario(spec)
+
+    def test_failed_record_checks_flagged(self):
+        def fine_task(params, seed):
+            return {"v": 1}
+
+        def failing_merge(defaults, payloads):
+            record = ExperimentRecord(name="x", description="")
+            record.checks["always-fails"] = False
+            return record
+
+        spec = ScenarioSpec(
+            name="check-failer",
+            description="",
+            task=fine_task,
+            merge=failing_merge,
+        )
+        result = run_suite([spec])
+        assert not result.ok
+        entry = result.manifest()["scenarios"][0]
+        assert entry["status"] == "check-failed"
+        assert entry["checks_failed"] == ["always-fails"]
+
+    def test_duplicate_scenario_names_rejected(self):
+        spec = get_spec("figure1")
+        with pytest.raises(ValueError):
+            run_suite([spec, spec])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite([], jobs=0)
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(ValueError, match="requires a store"):
+            run_suite([], resume=True)
+
+    def test_manifest_reports_elapsed_wallclock(self):
+        result = run_suite([epsilon_ablation_spec(epsilons=(0.1,), sample_pairs=40)])
+        manifest = result.manifest()
+        assert manifest["elapsed_seconds"] > 0
+
+    def test_graph_bearing_spec_refused_parallel_and_stored(self, tmp_path):
+        from repro.graphs import gnp_random_graph
+
+        spec = epsilon_ablation_spec(
+            epsilons=(0.1, 0.3), graph=gnp_random_graph(30, 0.2, seed=1), sample_pairs=20
+        )
+        with pytest.raises(ValueError, match="non-serializable"):
+            run_suite([spec], jobs=2)
+        with pytest.raises(ValueError, match="non-serializable"):
+            run_suite([spec], store=tmp_path)
+        # the in-process serial path still works
+        assert run_suite([spec]).ok
+
+    def test_nested_graph_params_also_refused(self, tmp_path):
+        # _json_safe must be deep: a graph hidden in a list would otherwise be
+        # content-addressed by its repr (same key for different graphs).
+        from repro.graphs import gnp_random_graph
+
+        spec = ScenarioSpec(
+            name="nested-graph-spec",
+            description="",
+            task=lambda p, s: {"v": 1},
+            merge=lambda d, p: ExperimentRecord(name="x", description=""),
+            defaults={"graphs": [gnp_random_graph(10, 0.3, seed=1)]},
+        )
+        with pytest.raises(ValueError, match="non-serializable"):
+            run_suite([spec], store=tmp_path)
+
+
+class TestExpansion:
+    def test_tasks_are_indexed_in_expansion_order(self):
+        spec = table1_spec(sizes=(40, 60, 80), sample_pairs=10)
+        tasks = expand_tasks(spec, store=None)
+        assert [task.index for task in tasks] == [0, 1, 2]
+        assert [task.params["size"] for task in tasks] == [40, 60, 80]
+        # per-task seeds are deterministic and distinct per grid point
+        assert len({task.seed for task in tasks}) == 3
+        again = expand_tasks(spec, store=None)
+        assert [t.seed for t in again] == [t.seed for t in tasks]
+
+    def test_spec_checks_applied_to_merged_record(self):
+        def task(params, seed):
+            return {"v": int(params["v"])}
+
+        def merge(defaults, payloads):
+            record = ExperimentRecord(name="checked", description="")
+            record.series["v"] = [float(p["v"]) for p in payloads]
+            return record
+
+        spec = ScenarioSpec(
+            name="checked-spec",
+            description="",
+            task=task,
+            merge=merge,
+            grid={"v": [1, 2, 3]},
+            checks={"values-positive": lambda r: all(v > 0 for v in r.series["v"])},
+        )
+        record = run_scenario(spec)
+        assert record.checks == {"values-positive": True}

@@ -11,6 +11,7 @@ from repro.experiments import (
     fit_power_law,
     measure_baseline,
     measure_deterministic,
+    measurement_row,
     save_records,
     scaling_graphs,
     scaling_sizes,
@@ -67,6 +68,23 @@ class TestExperimentRecord:
         assert len(paths) == 3
         assert all(path.exists() for path in paths)
 
+    def test_canonical_json_is_stable_and_sorted(self):
+        record = ExperimentRecord(
+            name="c", description="d", parameters={"b": 1, "a": 2}, checks={"ok": True}
+        )
+        text = record.to_canonical_json()
+        assert text == record.to_canonical_json()
+        assert text.index('"a"') < text.index('"b"')
+        assert record.digest() == ExperimentRecord.from_dict(record.to_dict()).digest()
+
+    def test_from_dict_round_trip(self):
+        record = ExperimentRecord(
+            name="r", description="d", rows=[{"a": 1}], series={"s": [1.0]},
+            checks={"ok": False}, notes=["n"],
+        )
+        rebuilt = ExperimentRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+
 
 class TestWorkloads:
     def test_default_parameters(self):
@@ -114,3 +132,12 @@ class TestRunner:
     def test_fit_power_law_degenerate(self):
         assert fit_power_law([10], [100]) == 0.0
         assert fit_power_law([], []) == 0.0
+
+    def test_measurement_row_strips_timing(self):
+        graph = gnp_random_graph(30, 0.15, seed=3)
+        measurement, _ = measure_deterministic(graph, default_parameters(), graph_name="g")
+        row = measurement_row(measurement)
+        assert "seconds" not in row
+        assert "wall_seconds" not in row
+        full = measurement.to_row()
+        assert {k: v for k, v in full.items() if k != "seconds"} == row

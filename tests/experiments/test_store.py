@@ -1,0 +1,112 @@
+"""Tests for the content-addressed result store and suite resumability."""
+
+from __future__ import annotations
+
+from repro.experiments import run_suite
+from repro.experiments.ablation import epsilon_ablation_spec
+from repro.experiments.store import ResultStore
+from repro.experiments.table1 import table1_spec
+
+
+def _specs():
+    return [
+        table1_spec(sizes=(40, 80), sample_pairs=40),
+        epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40),
+    ]
+
+
+class TestResultStore:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = {"rows": [{"a": 1}]}
+        store.put("scenario", "k" * 32, payload, params={"x": 1}, seed=7,
+                  workload_fingerprint="fp", version="1")
+        assert store.get("scenario", "k" * 32) == payload
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).get("scenario", "missing") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("s", "a" * 32, {"v": 1}, params={}, seed=0,
+                         workload_fingerprint="", version="1")
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get("s", "a" * 32) is None
+
+    def test_key_changes_with_every_component(self):
+        base = ResultStore.task_key("s", {"x": 1}, "fp", "1")
+        assert base == ResultStore.task_key("s", {"x": 1}, "fp", "1")
+        assert base != ResultStore.task_key("s", {"x": 2}, "fp", "1")
+        assert base != ResultStore.task_key("t", {"x": 1}, "fp", "1")
+        assert base != ResultStore.task_key("s", {"x": 1}, "fp2", "1")
+        assert base != ResultStore.task_key("s", {"x": 1}, "fp", "2")
+
+    def test_entries_and_prune(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", "1" * 32, {}, params={}, seed=0, workload_fingerprint="", version="1")
+        store.put("b", "2" * 32, {}, params={}, seed=0, workload_fingerprint="", version="1")
+        assert store.size() == 2
+        assert store.size("a") == 1
+        assert store.prune("a") == 1
+        assert store.size() == 1
+
+
+class TestSuiteResume:
+    def test_second_resume_run_recomputes_zero_tasks(self, tmp_path):
+        first = run_suite(_specs(), store=tmp_path, resume=True)
+        second = run_suite(_specs(), store=tmp_path, resume=True)
+        m1, m2 = first.manifest(), second.manifest()
+        assert m1["total_computed"] == m1["total_tasks"]
+        assert m2["total_computed"] == 0
+        assert m2["total_cache_hits"] == m2["total_tasks"]
+        # cache hits are byte-for-byte indistinguishable from fresh results
+        for name in first.records:
+            assert (
+                first.records[name].to_canonical_json()
+                == second.records[name].to_canonical_json()
+            )
+
+    def test_without_resume_store_is_write_only(self, tmp_path):
+        run_suite(_specs(), store=tmp_path)
+        rerun = run_suite(_specs(), store=tmp_path)
+        assert rerun.manifest()["total_cache_hits"] == 0
+        assert rerun.manifest()["total_computed"] == rerun.manifest()["total_tasks"]
+
+    def test_parameter_change_invalidates_only_affected_tasks(self, tmp_path):
+        spec = epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40)
+        run_suite([spec], store=tmp_path, resume=True)
+        grown = epsilon_ablation_spec(epsilons=(0.1, 0.3, 0.5), sample_pairs=40)
+        result = run_suite([grown], store=tmp_path, resume=True)
+        manifest = result.manifest()["scenarios"][0]
+        assert manifest["cache_hits"] == 2  # the two unchanged grid points
+        assert manifest["computed"] == 1  # only the new epsilon
+
+    def test_sample_pairs_change_invalidates_everything(self, tmp_path):
+        spec = epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40)
+        run_suite([spec], store=tmp_path, resume=True)
+        changed = epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=60)
+        result = run_suite([changed], store=tmp_path, resume=True)
+        manifest = result.manifest()["scenarios"][0]
+        assert manifest["cache_hits"] == 0
+        assert manifest["computed"] == 2
+
+    def test_version_bump_invalidates(self, tmp_path):
+        import dataclasses
+
+        spec = epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40)
+        run_suite([spec], store=tmp_path, resume=True)
+        bumped = dataclasses.replace(spec, version="2")
+        result = run_suite([bumped], store=tmp_path, resume=True)
+        assert result.manifest()["scenarios"][0]["cache_hits"] == 0
+
+    def test_resume_with_parallel_jobs_identical_to_fresh_serial(self, tmp_path):
+        specs = _specs()
+        fresh = run_suite(specs, jobs=1)
+        run_suite(specs, jobs=2, store=tmp_path, resume=True)
+        resumed = run_suite(specs, jobs=2, store=tmp_path, resume=True)
+        assert resumed.manifest()["total_computed"] == 0
+        for name in fresh.records:
+            assert (
+                fresh.records[name].to_canonical_json()
+                == resumed.records[name].to_canonical_json()
+            )

@@ -192,3 +192,54 @@ class TestWorkloadFactory:
 
     def test_workload_respects_seed(self):
         assert make_workload("gnp", 40, seed=1) == make_workload("gnp", 40, seed=1)
+
+
+class TestNewFamilies:
+    def test_watts_strogatz_no_rewiring_is_ring_lattice(self):
+        from repro.graphs import watts_strogatz_graph
+
+        g = watts_strogatz_graph(20, nearest_neighbors=4, rewire_probability=0.0, seed=1)
+        assert g.num_edges == 20 * 2  # k/2 = 2 edges per vertex
+        assert is_connected(g)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_watts_strogatz_rewiring_is_seeded(self):
+        from repro.graphs import watts_strogatz_graph
+
+        a = watts_strogatz_graph(40, 4, 0.3, seed=7)
+        b = watts_strogatz_graph(40, 4, 0.3, seed=7)
+        c = watts_strogatz_graph(40, 4, 0.3, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_watts_strogatz_rejects_bad_probability(self):
+        from repro.graphs import watts_strogatz_graph
+
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 4, 1.5)
+
+    def test_random_geometric_radius_monotone(self):
+        from repro.graphs import random_geometric_graph
+
+        sparse = random_geometric_graph(60, radius=0.1, seed=3)
+        dense = random_geometric_graph(60, radius=0.3, seed=3)
+        assert sparse.num_edges <= dense.num_edges
+        assert sparse.is_subgraph_of(dense)
+
+    def test_random_geometric_extreme_radii(self):
+        from repro.graphs import random_geometric_graph
+
+        assert random_geometric_graph(20, radius=0.0, seed=1).num_edges == 0
+        assert random_geometric_graph(20, radius=2.0, seed=1).num_edges == 190
+
+    def test_multi_component_is_disconnected(self):
+        from repro.graphs import multi_component_graph, num_components
+
+        g = multi_component_graph(4, 12, seed=5)
+        assert num_components(g) == 4
+
+    def test_multi_component_rejects_zero_components(self):
+        from repro.graphs import multi_component_graph
+
+        with pytest.raises(ValueError):
+            multi_component_graph(0, 5)

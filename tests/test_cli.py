@@ -64,3 +64,60 @@ def test_experiment_figure_runs_and_saves_json(tmp_path, capsys):
     data = json.loads(out.read_text())
     assert data["name"] == "figure1-superclustering"
     assert all(data["checks"].values())
+
+
+def test_experiment_scaling_and_ablation_runnable_by_name(capsys):
+    # These were missing from the old hardwired CLI registry.
+    exit_code = main(["experiment", "ablation-kappa"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "== ablation-kappa ==" in output
+
+
+def test_suite_list_shows_all_scenarios(capsys):
+    assert main(["suite", "list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("table1", "table2", "scaling", "ablation-epsilon", "figure8",
+                 "family-small-world"):
+        assert name in output
+
+
+def test_suite_list_filter(capsys):
+    assert main(["suite", "list", "--filter", "ablation"]) == 0
+    output = capsys.readouterr().out
+    assert "ablation-epsilon" in output
+    assert "figure1" not in output
+
+
+def test_suite_list_unknown_filter(capsys):
+    assert main(["suite", "list", "--filter", "no-such-tag"]) == 2
+
+
+def test_resume_without_store_is_an_error(capsys):
+    assert main(["suite", "run", "--resume"]) == 2
+    assert "--store" in capsys.readouterr().err
+    assert main(["experiment", "figure1", "--resume"]) == 2
+
+
+def test_suite_run_with_store_and_resume(tmp_path, capsys):
+    store = tmp_path / "store"
+    records = tmp_path / "records"
+    manifest_path = tmp_path / "manifest.json"
+    exit_code = main([
+        "suite", "run", "--filter", "ablation", "--jobs", "2",
+        "--store", str(store), "--records", str(records),
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "ablation-epsilon" in output
+    assert "all ok" in output
+    assert (records / "ablation-epsilon.json").exists()
+
+    exit_code = main([
+        "suite", "run", "--filter", "ablation", "--store", str(store),
+        "--resume", "--manifest", str(manifest_path),
+    ])
+    assert exit_code == 0
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["total_computed"] == 0
+    assert manifest["total_cache_hits"] == manifest["total_tasks"]
