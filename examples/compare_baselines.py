@@ -1,15 +1,13 @@
 #!/usr/bin/env python
 """Compare the deterministic algorithm against every implemented baseline.
 
-Builds spanners of the same workload graph with:
-
-* the paper's deterministic algorithm (centralized and CONGEST-simulated),
-* the randomized Elkin-Neiman'17-style algorithm,
-* the centralized Elkin-Peleg'01-style algorithm,
-* the Elkin'05-style sequential surrogate,
-* Baswana-Sen and the greedy multiplicative spanners,
-
-and prints size, nominal rounds (where defined) and measured stretch for each.
+Iterates the algorithm registry -- no hand-written list of builders: every
+registered algorithm that is practical at the chosen size (both engines of
+the paper's deterministic construction, the randomized Elkin-Neiman'17-style
+algorithm, the centralized Elkin-Peleg'01-style algorithm, the Elkin'05-style
+sequential surrogate, Baswana-Sen and the greedy multiplicative spanner)
+builds a spanner of the same workload graph, and the table prints size,
+nominal rounds (where defined) and measured stretch for each.
 
 Usage::
 
@@ -20,16 +18,9 @@ from __future__ import annotations
 
 import sys
 
-from repro import make_parameters
+from repro import algorithms
 from repro.analysis import render_table
-from repro.baselines import (
-    build_baswana_sen_spanner,
-    build_elkin05_surrogate_spanner,
-    build_elkin_neiman_spanner,
-    build_elkin_peleg_spanner,
-    build_greedy_spanner,
-)
-from repro.experiments import measure_baseline, measure_deterministic
+from repro.experiments import measure_algorithm
 from repro.graphs import planted_partition_graph
 
 
@@ -39,24 +30,17 @@ def main() -> None:
     graph = planted_partition_graph(clusters, max(3, n // clusters), 0.5, 0.02, seed=3)
     print(f"workload: planted-partition graph with {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    parameters = make_parameters(epsilon=0.25, kappa=3, rho=1 / 3, epsilon_is_internal=True)
+    pool = {"epsilon": 0.25, "kappa": 3, "rho": 1 / 3, "epsilon_is_internal": True}
     rows = []
-
-    for engine in ("centralized", "distributed"):
-        measurement, _ = measure_deterministic(
-            graph, parameters, graph_name="planted", engine=engine, sample_pairs=300
+    for spec in algorithms.select(max_vertices=graph.num_vertices):
+        measurement, _ = measure_algorithm(
+            graph,
+            spec.name,
+            spec.subset_params(pool),
+            graph_name="planted",
+            sample_pairs=300,
+            seed=1,
         )
-        rows.append(measurement.to_row())
-
-    builders = [
-        lambda: build_elkin_neiman_spanner(graph, parameters, seed=1),
-        lambda: build_elkin_peleg_spanner(graph, parameters),
-        lambda: build_elkin05_surrogate_spanner(graph, parameters),
-        lambda: build_baswana_sen_spanner(graph, kappa=3, seed=1),
-        lambda: build_greedy_spanner(graph, stretch=5),
-    ]
-    for builder in builders:
-        measurement, _ = measure_baseline(graph, builder, graph_name="planted", sample_pairs=300)
         rows.append(measurement.to_row())
 
     columns = [

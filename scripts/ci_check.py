@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""One-command repository health check: tier-1 tests + golden protocol counters.
+"""One-command repository health check: tests + goldens + docs drift.
 
 Runs, in order:
 
@@ -7,13 +7,16 @@ Runs, in order:
 2. the golden-counter check of ``scripts/bench_compare.py`` against the
    committed ``BENCH_seed.json`` baseline (``--skip-benchmarks`` mode: the
    fixed distributed build and BFS-forest protocol must stay bit-identical --
-   wall-clock benchmarks are skipped, so this is fast and hardware-independent).
+   wall-clock benchmarks are skipped, so this is fast and hardware-independent),
+3. the EXPERIMENTS.md drift check
+   (``scripts/generate_experiments_md.py --check``: the committed docs must
+   match the current algorithm/scenario registries).
 
-Exit status is non-zero if either stage fails.  This is what the GitHub
+Exit status is non-zero if any stage fails.  This is what the GitHub
 Actions workflow (.github/workflows/ci.yml) runs; locally::
 
-    python scripts/ci_check.py            # both stages
-    python scripts/ci_check.py --fast     # golden counters only
+    python scripts/ci_check.py            # all stages
+    python scripts/ci_check.py --fast     # skip the pytest stage
 """
 
 from __future__ import annotations
@@ -79,6 +82,15 @@ def main(argv=None) -> int:
                 os.unlink(snapshot)
             except OSError:
                 pass
+    if ok or args.fast:
+        ok = run_stage(
+            "experiments-md drift",
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "generate_experiments_md.py"),
+                "--check",
+            ],
+        ) and ok
     print("==> all checks passed" if ok else "==> CHECKS FAILED", flush=True)
     return 0 if ok else 1
 

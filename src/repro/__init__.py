@@ -15,6 +15,9 @@ The package implements, from scratch:
 * :mod:`repro.baselines` -- the algorithms the paper compares against
   (Elkin-Neiman'17, Elkin-Peleg'01, Baswana-Sen, greedy, an Elkin'05-style
   surrogate);
+* :mod:`repro.algorithms` -- the declarative algorithm registry: every
+  construction above registered as an :class:`AlgorithmSpec` behind the one
+  :func:`build` facade returning a unified :class:`RunResult`;
 * :mod:`repro.analysis` -- stretch/size verification and the theoretical bound
   calculators behind Tables 1 and 2;
 * :mod:`repro.experiments` -- the harness that regenerates every table and
@@ -22,14 +25,20 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro import build_spanner
+    from repro import build, build_spanner
     from repro.graphs import gnp_random_graph
 
     graph = gnp_random_graph(300, 0.03, seed=7)
     result = build_spanner(graph, epsilon=0.5, kappa=3, rho=1/3)
     print(result.num_edges, "edges;", result.parameters.stretch_bound())
+
+    # ... or any registered algorithm by name, via the registry facade:
+    run = build("baswana-sen", graph, kappa=3, seed=1)
+    print(run.algorithm, run.num_edges, run.effective_guarantee())
 """
 
+from . import algorithms
+from .algorithms import AlgorithmSpec, RunResult, build
 from .core import (
     SpannerDistanceOracle,
     SpannerParameters,
@@ -45,12 +54,16 @@ from .graphs import Graph
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmSpec",
     "Graph",
+    "RunResult",
     "SpannerDistanceOracle",
     "SpannerParameters",
     "SpannerResult",
     "StretchGuarantee",
     "__version__",
+    "algorithms",
+    "build",
     "build_spanner",
     "build_spanner_centralized",
     "build_spanner_distributed",

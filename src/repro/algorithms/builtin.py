@@ -1,0 +1,279 @@
+"""Built-in algorithm registrations: the engine variants and every baseline.
+
+Importing this module (done lazily by the registry) registers:
+
+* ``new-centralized`` / ``new-distributed`` -- the paper's deterministic
+  construction, as two specs sharing one parameter schema;
+* ``elkin-neiman-2017`` -- the randomized [EN17]-style comparator;
+* ``elkin-peleg-2001`` -- the centralized scan-based [EP01]-style scheme;
+* ``elkin05-surrogate`` -- the sequential-selection surrogate of [Elk05];
+* ``baswana-sen`` / ``greedy`` -- the multiplicative contrast class.
+
+Adding an algorithm is one :func:`~repro.algorithms.registry.register` call:
+every registry-driven scenario matrix, the CLI and the guarantee property
+tests pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines import (
+    build_baswana_sen_spanner,
+    build_elkin05_surrogate_spanner,
+    build_elkin_neiman_spanner,
+    build_elkin_peleg_spanner,
+    build_greedy_spanner,
+    elkin05_surrogate_guarantee,
+    elkin_neiman_guarantee,
+    elkin_peleg_guarantee,
+)
+from ..core.parameters import SpannerParameters, StretchGuarantee
+from ..core.spanner import ENGINE_CENTRALIZED, ENGINE_DISTRIBUTED, build_spanner, make_parameters
+from ..graphs.graph import Graph
+from .registry import AlgorithmSpec, ParamSpec, Params, register
+from .result import RunResult
+
+#: The shared parameter schema of every (1+eps, beta)-spanner construction.
+STRETCH_PARAMS = (
+    ParamSpec(
+        "epsilon", 0.5,
+        "stretch slack; user-facing unless epsilon_is_internal is set",
+    ),
+    ParamSpec("kappa", 3, "sparseness exponent: O(beta n^{1+1/kappa}) edges"),
+    ParamSpec(
+        "rho", 1.0 / 3.0,
+        "round exponent: O(beta n^rho / rho) CONGEST rounds; 1/kappa <= rho <= 1/2",
+    ),
+    ParamSpec(
+        "epsilon_is_internal", False,
+        "interpret epsilon as the paper's internal (pre-rescaling) epsilon",
+    ),
+)
+
+#: Schema of the purely multiplicative constructions.
+MULTIPLICATIVE_PARAMS = (
+    ParamSpec("kappa", 3, "stretch/sparsity trade-off: (2*kappa - 1)-spanner"),
+)
+
+
+def spanner_parameters(params: Params) -> SpannerParameters:
+    """Resolve the shared stretch-parameter schema into :class:`SpannerParameters`."""
+    return make_parameters(
+        float(params["epsilon"]),
+        int(params["kappa"]),
+        float(params["rho"]),
+        epsilon_is_internal=bool(params["epsilon_is_internal"]),
+    )
+
+
+def _reject_simulator(name: str, simulator: object) -> None:
+    if simulator is not None:
+        raise ValueError(f"algorithm {name!r} does not run on a CONGEST simulator")
+
+
+# ----------------------------------------------------------------------
+# The paper's deterministic algorithm (two engines, one parameter schema)
+# ----------------------------------------------------------------------
+def _engine_guarantee(params: Params) -> StretchGuarantee:
+    return spanner_parameters(params).stretch_bound()
+
+
+def build_new_centralized(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("new-centralized", simulator)
+    result = build_spanner(
+        graph, parameters=spanner_parameters(params), engine=ENGINE_CENTRALIZED
+    )
+    return RunResult.from_spanner_result(result)
+
+
+def build_new_distributed(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    result = build_spanner(
+        graph,
+        parameters=spanner_parameters(params),
+        engine=ENGINE_DISTRIBUTED,
+        simulator=simulator,
+    )
+    return RunResult.from_spanner_result(result)
+
+
+NEW_CENTRALIZED = register(
+    AlgorithmSpec(
+        name="new-centralized",
+        description=(
+            "The paper's deterministic superclustering-and-interconnection "
+            "(1+eps, beta)-spanner; fast centralized reference engine."
+        ),
+        build=build_new_centralized,
+        tags=("engine", "deterministic", "centralized", "near-additive", "paper"),
+        params=STRETCH_PARAMS,
+        guarantee=_engine_guarantee,
+    )
+)
+
+NEW_DISTRIBUTED = register(
+    AlgorithmSpec(
+        name="new-distributed",
+        description=(
+            "The same deterministic construction executed as a faithful CONGEST "
+            "simulation with round/message accounting."
+        ),
+        build=build_new_distributed,
+        tags=("engine", "deterministic", "distributed", "congest", "near-additive", "paper"),
+        params=STRETCH_PARAMS,
+        guarantee=_engine_guarantee,
+        # Simulating every CONGEST round is the point, and the price: past a
+        # few hundred vertices a full simulated build stops being interactive.
+        max_practical_vertices=300,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Near-additive baselines
+# ----------------------------------------------------------------------
+def _elkin_neiman_guarantee(params: Params) -> StretchGuarantee:
+    return elkin_neiman_guarantee(spanner_parameters(params))
+
+
+def build_elkin_neiman(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("elkin-neiman-2017", simulator)
+    return RunResult.from_baseline_result(
+        build_elkin_neiman_spanner(graph, spanner_parameters(params), seed=seed)
+    )
+
+
+ELKIN_NEIMAN = register(
+    AlgorithmSpec(
+        name="elkin-neiman-2017",
+        description=(
+            "Randomized [EN17]-style near-additive spanner: sampled cluster "
+            "centers instead of the paper's deterministic ruling sets."
+        ),
+        build=build_elkin_neiman,
+        tags=("baseline", "randomized", "centralized", "near-additive"),
+        params=STRETCH_PARAMS,
+        guarantee=_elkin_neiman_guarantee,
+    )
+)
+
+
+def _elkin_peleg_guarantee(params: Params) -> StretchGuarantee:
+    return elkin_peleg_guarantee(spanner_parameters(params))
+
+
+def build_elkin_peleg(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("elkin-peleg-2001", simulator)
+    return RunResult.from_baseline_result(
+        build_elkin_peleg_spanner(graph, spanner_parameters(params))
+    )
+
+
+ELKIN_PELEG = register(
+    AlgorithmSpec(
+        name="elkin-peleg-2001",
+        description=(
+            "Centralized [EP01]-style near-additive spanner: consecutive scans "
+            "locate and merge popular cluster neighbourhoods."
+        ),
+        build=build_elkin_peleg,
+        tags=("baseline", "deterministic", "centralized", "near-additive"),
+        params=STRETCH_PARAMS,
+        guarantee=_elkin_peleg_guarantee,
+    )
+)
+
+
+def _elkin05_guarantee(params: Params) -> StretchGuarantee:
+    return elkin05_surrogate_guarantee(spanner_parameters(params))
+
+
+def build_elkin05_surrogate(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("elkin05-surrogate", simulator)
+    return RunResult.from_baseline_result(
+        build_elkin05_surrogate_spanner(graph, spanner_parameters(params))
+    )
+
+
+ELKIN05_SURROGATE = register(
+    AlgorithmSpec(
+        name="elkin05-surrogate",
+        description=(
+            "Sequential-selection surrogate of the [Elk05] deterministic CONGEST "
+            "algorithm (Table 1's superlinear-running-time comparator)."
+        ),
+        build=build_elkin05_surrogate,
+        tags=("baseline", "deterministic", "congest", "near-additive"),
+        params=STRETCH_PARAMS,
+        guarantee=_elkin05_guarantee,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Multiplicative baselines
+# ----------------------------------------------------------------------
+def _baswana_sen_guarantee(params: Params) -> StretchGuarantee:
+    return StretchGuarantee(
+        multiplicative=float(2 * int(params["kappa"]) - 1), additive=0.0
+    )
+
+
+def build_baswana_sen(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("baswana-sen", simulator)
+    return RunResult.from_baseline_result(
+        build_baswana_sen_spanner(graph, int(params["kappa"]), seed=seed)
+    )
+
+
+BASWANA_SEN = register(
+    AlgorithmSpec(
+        name="baswana-sen",
+        description=(
+            "Baswana-Sen randomized (2*kappa - 1)-multiplicative spanner: the "
+            "canonical multiplicative contrast class."
+        ),
+        build=build_baswana_sen,
+        tags=("baseline", "randomized", "centralized", "multiplicative"),
+        params=MULTIPLICATIVE_PARAMS,
+        guarantee=_baswana_sen_guarantee,
+    )
+)
+
+
+def _greedy_stretch(params: Params) -> int:
+    stretch: Optional[object] = params.get("stretch")
+    if stretch is None:
+        return 2 * int(params["kappa"]) - 1
+    return int(stretch)
+
+
+def _greedy_guarantee(params: Params) -> StretchGuarantee:
+    return StretchGuarantee(multiplicative=float(_greedy_stretch(params)), additive=0.0)
+
+
+def build_greedy(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("greedy", simulator)
+    return RunResult.from_baseline_result(
+        build_greedy_spanner(graph, _greedy_stretch(params))
+    )
+
+
+GREEDY = register(
+    AlgorithmSpec(
+        name="greedy",
+        description=(
+            "Greedy [ADD+93] multiplicative spanner: the existentially optimal "
+            "ground truth, inherently sequential and quadratic-ish."
+        ),
+        build=build_greedy,
+        tags=("baseline", "deterministic", "centralized", "multiplicative"),
+        params=MULTIPLICATIVE_PARAMS + (
+            ParamSpec("stretch", None, "explicit stretch t; defaults to 2*kappa - 1"),
+        ),
+        guarantee=_greedy_guarantee,
+        # Each candidate edge pays a bounded-depth BFS in the partial spanner;
+        # beyond a few hundred vertices the quadratic-ish scan dominates.
+        max_practical_vertices=400,
+    )
+)

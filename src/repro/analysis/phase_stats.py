@@ -75,8 +75,23 @@ class VerificationReport:
         }
 
 
-def verify_run(result: SpannerResult, check_interconnection_paths: bool = True) -> VerificationReport:
-    """Run every structural check on a :class:`SpannerResult`."""
+def verify_run(result, check_interconnection_paths: bool = True) -> VerificationReport:
+    """Run every structural check on a run of the paper's algorithm.
+
+    Accepts either a :class:`SpannerResult` directly or a
+    :class:`~repro.algorithms.result.RunResult` wrapping one (the unified
+    record the algorithm registry returns); baseline runs carry no phase
+    structure to verify and are rejected.
+    """
+    if not isinstance(result, SpannerResult):
+        source = getattr(result, "source", None)
+        if isinstance(source, SpannerResult):
+            result = source
+        else:
+            raise TypeError(
+                "verify_run needs a SpannerResult (or a RunResult wrapping "
+                f"one); got {type(result).__name__}"
+            )
     report = VerificationReport()
     _check_subgraph(result, report)
     _check_connectivity(result, report)

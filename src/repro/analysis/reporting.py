@@ -69,6 +69,49 @@ def render_markdown_table(
     return "\n".join(lines)
 
 
+#: Preferred phase-table columns of an engine run (the registry's unified
+#: RunResult keeps them in each phase dict); other algorithms' phase dicts
+#: render with their own keys.
+_ENGINE_PHASE_COLUMNS = (
+    "index", "stage", "num_clusters", "num_popular", "ruling_set_size",
+    "num_superclustered", "num_unclustered", "superclustering_edges",
+    "interconnection_edges",
+)
+
+
+def render_run_result(run, title: str = "per-phase statistics") -> str:
+    """Plain-text summary of a unified :class:`~repro.algorithms.result.RunResult`.
+
+    Works for every registered algorithm: header lines (algorithm, declared
+    guarantee, spanner size, nominal rounds where defined) plus the per-phase
+    table whenever the run carries phase records.
+    """
+    header = f"algorithm: {run.algorithm}"
+    if run.engine:
+        header += f" (engine: {run.engine})"
+    lines = [header]
+    guarantee = run.effective_guarantee()
+    if guarantee is not None:
+        lines.append(
+            f"guarantee: d_H <= {guarantee.multiplicative:.4g} * d_G "
+            f"+ {guarantee.additive:.4g}"
+        )
+    else:
+        lines.append("guarantee: none declared")
+    spanner_line = f"spanner: {run.num_edges} edges"
+    if run.nominal_rounds is not None:
+        spanner_line += f"; nominal CONGEST rounds: {run.nominal_rounds}"
+    lines.append(spanner_line)
+    if run.phases:
+        first = run.phases[0]
+        if all(column in first for column in _ENGINE_PHASE_COLUMNS):
+            columns: Optional[Sequence[str]] = _ENGINE_PHASE_COLUMNS
+        else:
+            columns = list(first.keys())
+        lines.append(render_table(run.phases, columns=columns, title=title))
+    return "\n".join(lines)
+
+
 def render_suite_manifest(manifest: Dict[str, object]) -> str:
     """Render a suite-run manifest (per-scenario status, checks, cache hits, wall-clock).
 

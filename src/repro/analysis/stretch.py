@@ -184,6 +184,30 @@ def evaluate_stretch_sampled(
     return evaluate_stretch(graph, spanner, guarantee=guarantee, pairs=pairs)
 
 
+def evaluate_run_stretch(
+    run,
+    num_pairs: int = 400,
+    seed: int = 0,
+    guarantee: Optional[StretchGuarantee] = None,
+    exhaustive_below: int = 60,
+) -> StretchReport:
+    """Stretch report for a :class:`~repro.algorithms.result.RunResult`.
+
+    The unified-result accessor used by the registry facade, the CLI and the
+    registry-driven guarantee tests: graph, spanner and declared guarantee are
+    all read off the run.  Small graphs (at most ``exhaustive_below``
+    vertices, or ``num_pairs <= 0``) are checked exhaustively; larger ones on
+    ``num_pairs`` sampled pairs.
+    """
+    if guarantee is None:
+        guarantee = run.effective_guarantee()
+    if num_pairs <= 0 or run.graph.num_vertices <= exhaustive_below:
+        return evaluate_stretch(run.graph, run.spanner, guarantee=guarantee)
+    return evaluate_stretch_sampled(
+        run.graph, run.spanner, num_pairs=num_pairs, seed=seed, guarantee=guarantee
+    )
+
+
 def best_additive_for_multiplicative(
     report_pairs: Iterable[PairStretch], multiplicative: float
 ) -> float:

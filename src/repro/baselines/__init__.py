@@ -2,9 +2,9 @@
 
 from .base import BaselineResult
 from .baswana_sen import build_baswana_sen_spanner
-from .elkin05_surrogate import build_elkin05_surrogate_spanner
-from .elkin_neiman import build_elkin_neiman_spanner
-from .elkin_peleg import build_elkin_peleg_spanner
+from .elkin05_surrogate import build_elkin05_surrogate_spanner, elkin05_surrogate_guarantee
+from .elkin_neiman import build_elkin_neiman_spanner, elkin_neiman_guarantee
+from .elkin_peleg import build_elkin_peleg_spanner, elkin_peleg_guarantee
 from .greedy import build_greedy_spanner
 
 __all__ = [
@@ -14,4 +14,7 @@ __all__ = [
     "build_elkin_neiman_spanner",
     "build_elkin_peleg_spanner",
     "build_greedy_spanner",
+    "elkin05_surrogate_guarantee",
+    "elkin_neiman_guarantee",
+    "elkin_peleg_guarantee",
 ]

@@ -41,19 +41,15 @@ class BaselineResult:
         raise ValueError(f"baseline {self.name} does not declare a stretch guarantee")
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly summary."""
-        guarantee = None
-        try:
-            g = self.effective_guarantee()
-            guarantee = {"multiplicative": g.multiplicative, "additive": g.additive}
-        except ValueError:
-            pass
-        return {
-            "name": self.name,
-            "num_vertices": self.graph.num_vertices,
-            "num_graph_edges": self.graph.num_edges,
-            "num_spanner_edges": self.num_edges,
-            "nominal_rounds": self.nominal_rounds,
-            "guarantee": guarantee,
-            "details": self.details,
-        }
+        """JSON-friendly summary.
+
+        Emits the unified run-result schema
+        (:data:`repro.algorithms.result.RUN_RESULT_KEYS`) shared with the
+        engine's :class:`~repro.core.result.SpannerResult`, so comparison code
+        never has to reconcile two key sets (the baseline's name is the
+        ``algorithm`` field; per-phase stats move from ``details`` to
+        ``phases``).
+        """
+        from ..algorithms.result import RunResult
+
+        return RunResult.from_baseline_result(self).to_dict()

@@ -54,6 +54,32 @@ def _sequential_ruling_set(graph: Graph, candidates: List[int], separation: int)
     return chosen
 
 
+def _elkin05_schedules(parameters: SpannerParameters) -> Tuple[List[int], List[int]]:
+    """Radius / threshold schedules of the sequential-scan surrogate.
+
+    The greedy sequential ruling set dominates candidates within ``2*delta_i``,
+    so superclusters are grown to that depth and radii follow
+    ``R_{i+1} = 2*delta_i + R_i``.
+    """
+    radii = [0]
+    deltas: List[int] = []
+    for i in parameters.phases():
+        delta_i = int(math.ceil(parameters.epsilon ** (-i) - 1e-9)) + 2 * radii[i]
+        deltas.append(delta_i)
+        radii.append(2 * delta_i + radii[i])
+    return radii[: parameters.num_phases], deltas
+
+
+def elkin05_surrogate_guarantee(parameters: SpannerParameters) -> "StretchGuarantee":
+    """The ``(1 + alpha, beta)`` guarantee the surrogate declares.
+
+    Computed from the same schedules the builder uses, so the algorithm
+    registry can state the guarantee without running the algorithm.
+    """
+    radii, deltas = _elkin05_schedules(parameters)
+    return guarantee_from_schedules(radii, deltas)
+
+
 def build_elkin05_surrogate_spanner(
     graph: Graph,
     parameters: SpannerParameters,
@@ -66,16 +92,7 @@ def build_elkin05_surrogate_spanner(
     nominal_rounds = 0
     phase_stats: List[Dict[str, int]] = []
 
-    # Radius / threshold schedules: the greedy sequential ruling set dominates
-    # candidates within 2*delta_i, so superclusters are grown to that depth and
-    # radii follow R_{i+1} = 2*delta_i + R_i.
-    radii = [0]
-    deltas: List[int] = []
-    for i in parameters.phases():
-        delta_i = int(math.ceil(parameters.epsilon ** (-i) - 1e-9)) + 2 * radii[i]
-        deltas.append(delta_i)
-        radii.append(2 * delta_i + radii[i])
-    radii = radii[: parameters.num_phases]
+    radii, deltas = _elkin05_schedules(parameters)
 
     for i in parameters.phases():
         delta_i = deltas[i]

@@ -52,6 +52,16 @@ def _en_schedules(parameters: SpannerParameters) -> Tuple[List[int], List[int]]:
     return radii[: parameters.num_phases], deltas
 
 
+def elkin_neiman_guarantee(parameters: SpannerParameters) -> "StretchGuarantee":
+    """The ``(1 + alpha, beta)`` guarantee the randomized construction declares.
+
+    Computed from the same radius/threshold schedules the builder uses, so the
+    algorithm registry can state the guarantee without running the algorithm.
+    """
+    radii, deltas = _en_schedules(parameters)
+    return guarantee_from_schedules(radii, deltas)
+
+
 def build_elkin_neiman_spanner(
     graph: Graph,
     parameters: SpannerParameters,

@@ -43,6 +43,16 @@ def _ep_schedules(parameters: SpannerParameters) -> Tuple[List[int], List[int]]:
     return radii[: parameters.num_phases], deltas
 
 
+def elkin_peleg_guarantee(parameters: SpannerParameters) -> "StretchGuarantee":
+    """The ``(1 + alpha, beta)`` guarantee the scan-based construction declares.
+
+    Computed from the same radius/threshold schedules the builder uses, so the
+    algorithm registry can state the guarantee without running the algorithm.
+    """
+    radii, deltas = _ep_schedules(parameters)
+    return guarantee_from_schedules(radii, deltas)
+
+
 def build_elkin_peleg_spanner(
     graph: Graph,
     parameters: SpannerParameters,

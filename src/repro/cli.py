@@ -4,6 +4,9 @@ Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
 
     repro build --family gnp --size 300 --epsilon 0.5 --kappa 3 --rho 0.34
     repro build --input graph.txt --engine distributed --output spanner.txt
+    repro build --algorithm baswana-sen --family gnp --size 200 --verify
+    repro build --algorithm greedy --param stretch=5 --family grid --size 100
+    repro algorithms list [--tag near-additive] [--json]
     repro experiment table1
     repro experiment figure3 --json out.json
     repro suite list --filter figure
@@ -14,8 +17,15 @@ Sub-commands:
 
 ``build``
     Build a spanner of a generated workload (``--family/--size/--seed``) or of
-    an edge-list file (``--input``), print the per-phase report and optionally
-    write the spanner as an edge list (``--output``).
+    an edge-list file (``--input``) with **any registered algorithm**
+    (``--algorithm NAME``, defaulting to the engine selected by ``--engine``),
+    print the unified run report and optionally write the spanner as an edge
+    list (``--output``).  ``--param KEY=VALUE`` sets algorithm-specific
+    parameters beyond the shared epsilon/kappa/rho flags.
+``algorithms``
+    Inspect the algorithm registry: ``algorithms list`` shows every
+    registered algorithm (name, tags, parameter schema, capability hints);
+    ``--tag`` filters, ``--json`` emits the machine-readable descriptions.
 ``experiment``
     Run one registered scenario by name (every scenario in the registry --
     tables, figures, scaling, ablations, workload families) and print its
@@ -36,10 +46,17 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from .analysis import evaluate_stretch_sampled, render_suite_manifest, render_table, verify_run
-from .core import build_spanner, make_parameters
+from . import algorithms
+from .analysis import (
+    evaluate_run_stretch,
+    render_run_result,
+    render_suite_manifest,
+    render_table,
+    verify_run,
+)
+from .core import SpannerResult, make_parameters
 from .experiments import all_specs, get_spec, run_scenario, run_suite, save_records
 from .graphs import make_workload, read_edge_list, write_edge_list
 from .graphs.generators import WORKLOAD_FAMILIES
@@ -60,6 +77,21 @@ def _parameters_from_args(args: argparse.Namespace):
     return make_parameters(args.epsilon, args.kappa, args.rho, epsilon_is_internal=args.internal)
 
 
+def _parse_param_overrides(entries: Optional[Sequence[str]]) -> Dict[str, object]:
+    """Parse repeated ``--param KEY=VALUE`` flags (values as JSON when possible)."""
+    params: Dict[str, object] = {}
+    for entry in entries or ():
+        key, sep, raw = entry.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param expects KEY=VALUE, got {entry!r}")
+        try:
+            value: object = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        params[key.strip()] = value
+    return params
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.input:
         graph = read_edge_list(args.input)
@@ -67,37 +99,84 @@ def _cmd_build(args: argparse.Namespace) -> int:
     else:
         graph = make_workload(args.family, args.size, seed=args.seed)
         source = f"{args.family}(n~{args.size}, seed={args.seed})"
-    parameters = _parameters_from_args(args)
-    result = build_spanner(graph, parameters=parameters, engine=args.engine)
-    guarantee = parameters.stretch_bound()
+
+    name = args.algorithm or f"new-{args.engine}"
+    try:
+        spec = algorithms.get_spec(name)
+    except KeyError:
+        names = ", ".join(algorithms.algorithm_names())
+        print(f"unknown algorithm {name!r}; choose from: {names}", file=sys.stderr)
+        return 2
+    # Every algorithm picks its declared subset of the shared stretch flags;
+    # --param overrides cover algorithm-specific parameters (e.g. greedy's
+    # explicit stretch).
+    params = spec.subset_params(
+        {
+            "epsilon": args.epsilon,
+            "kappa": args.kappa,
+            "rho": args.rho,
+            "epsilon_is_internal": args.internal,
+        }
+    )
+    try:
+        params.update(_parse_param_overrides(args.param))
+        run = spec.run(graph, params, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print(f"graph: {source}: {graph.num_vertices} vertices, {graph.num_edges} edges")
-    print(f"engine: {args.engine}; phases: {parameters.num_phases}")
-    print(f"guarantee: d_H <= {guarantee.multiplicative:.4g} * d_G + {guarantee.additive:.4g}")
-    print(f"spanner: {result.num_edges} edges; nominal CONGEST rounds: {result.nominal_rounds}")
-    rows = [record.to_dict() for record in result.phase_records]
-    columns = [
-        "index", "stage", "num_clusters", "num_popular", "ruling_set_size",
-        "num_superclustered", "num_unclustered", "superclustering_edges", "interconnection_edges",
-    ]
-    print(render_table(rows, columns=columns, title="per-phase statistics"))
+    print(render_run_result(run))
 
     if args.verify:
-        report = verify_run(result)
-        print(f"structural lemma checks: {'all passed' if report.all_passed else 'FAILURES'}")
-        for check in report.failures():
-            print(f"  FAIL {check.name}: {check.details}")
-        stretch = evaluate_stretch_sampled(graph, result.spanner, num_pairs=args.sample_pairs, guarantee=guarantee)
+        structural_ok = True
+        if isinstance(run.source, SpannerResult):
+            report = verify_run(run)
+            structural_ok = report.all_passed
+            print(f"structural lemma checks: {'all passed' if report.all_passed else 'FAILURES'}")
+            for check in report.failures():
+                print(f"  FAIL {check.name}: {check.details}")
+        stretch = evaluate_run_stretch(run, num_pairs=args.sample_pairs)
+        # evaluate_run_stretch switches to exhaustive all-pairs checking on
+        # small graphs; label whichever mode actually ran.
+        exhaustive = args.sample_pairs <= 0 or graph.num_vertices <= 60
+        mode = "exhaustive stretch" if exhaustive else "sampled stretch"
         print(
-            f"sampled stretch ({stretch.pairs_checked} pairs): max multiplicative "
+            f"{mode} ({stretch.pairs_checked} pairs): max multiplicative "
             f"{stretch.max_multiplicative:.3g}, max additive {stretch.max_additive_surplus:.3g}, "
             f"guarantee satisfied: {stretch.satisfies_guarantee}"
         )
-        if not report.all_passed or not stretch.satisfies_guarantee:
+        if not structural_ok or not stretch.satisfies_guarantee:
             return 1
     if args.output:
-        write_edge_list(result.spanner, args.output)
+        write_edge_list(run.spanner, args.output)
         print(f"spanner written to {args.output}")
+    return 0
+
+
+def _cmd_algorithms_list(args: argparse.Namespace) -> int:
+    # select() with no tags returns everything, engine variants first — one
+    # code path, one ordering, with or without --tag.
+    specs = algorithms.select(tags=args.tag)
+    if not specs:
+        print(f"no algorithms match tags {args.tag!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
+    rows = [
+        {
+            "algorithm": spec.name,
+            "tags": ",".join(spec.tags) or "-",
+            "parameters": ", ".join(
+                f"{param.name}={param.default!r}" for param in spec.params
+            ),
+            "max n": spec.max_practical_vertices,
+            "description": spec.description,
+        }
+        for spec in specs
+    ]
+    print(render_table(rows))
     return 0
 
 
@@ -198,10 +277,41 @@ def build_argument_parser() -> argparse.ArgumentParser:
     build_parser.add_argument("--input", type=str, default=None, help="edge-list file to read instead of generating")
     build_parser.add_argument("--output", type=str, default=None, help="write the spanner as an edge list")
     build_parser.add_argument("--engine", choices=["centralized", "distributed"], default="centralized")
+    build_parser.add_argument(
+        "--algorithm",
+        type=str,
+        default=None,
+        help="registered algorithm name (see `repro algorithms list`); overrides --engine",
+    )
+    build_parser.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="algorithm-specific parameter override (repeatable; VALUE parsed as JSON)",
+    )
     build_parser.add_argument("--verify", action="store_true", help="run the structural lemma checks and sampled stretch")
     build_parser.add_argument("--sample-pairs", type=int, default=300)
     _add_parameter_arguments(build_parser)
     build_parser.set_defaults(handler=_cmd_build)
+
+    algorithms_parser = subparsers.add_parser(
+        "algorithms", help="inspect the algorithm registry"
+    )
+    algorithms_subparsers = algorithms_parser.add_subparsers(
+        dest="algorithms_command", required=True
+    )
+    algorithms_list_parser = algorithms_subparsers.add_parser(
+        "list", help="list every registered algorithm"
+    )
+    algorithms_list_parser.add_argument(
+        "--tag",
+        action="append",
+        help="keep algorithms carrying this tag (repeatable; all tags must match)",
+    )
+    algorithms_list_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable descriptions"
+    )
+    algorithms_list_parser.set_defaults(handler=_cmd_algorithms_list)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one registered experiment scenario by name"

@@ -129,17 +129,14 @@ class SpannerResult:
         return self.certificate.summary()
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly summary (does not embed the graphs)."""
-        guarantee = self.parameters.stretch_bound()
-        return {
-            "engine": self.engine,
-            "num_vertices": self.num_vertices,
-            "num_graph_edges": self.graph.num_edges,
-            "num_spanner_edges": self.num_edges,
-            "nominal_rounds": self.nominal_rounds,
-            "multiplicative_stretch_bound": guarantee.multiplicative,
-            "additive_stretch_bound": guarantee.additive,
-            "phases": [record.to_dict() for record in self.phase_records],
-            "edges_by_step": self.edges_by_step(),
-            "ledger": self.ledger.summary() if self.ledger is not None else None,
-        }
+        """JSON-friendly summary (does not embed the graphs).
+
+        Emits the unified run-result schema
+        (:data:`repro.algorithms.result.RUN_RESULT_KEYS`) shared with every
+        baseline, so consumers never see engine-specific key names.  The
+        stretch bounds live under ``guarantee`` and the edge provenance under
+        ``details["edges_by_step"]``.
+        """
+        from ..algorithms.result import RunResult
+
+        return RunResult.from_spanner_result(self).to_dict()

@@ -50,6 +50,7 @@ from .results import ExperimentRecord, save_records
 from .runner import (
     Measurement,
     fit_power_law,
+    measure_algorithm,
     measure_baseline,
     measure_deterministic,
     measurement_row,
@@ -87,6 +88,7 @@ __all__ = [
     "fit_power_law",
     "get_spec",
     "kappa_ablation_spec",
+    "measure_algorithm",
     "measure_baseline",
     "measure_deterministic",
     "measurement_row",

@@ -24,7 +24,7 @@ from ..graphs.generators import planted_partition_graph
 from ..graphs.graph import Graph
 from .registry import ScenarioSpec, register
 from .results import ExperimentRecord
-from .runner import measure_deterministic, measurement_row
+from .runner import measure_algorithm, measurement_row
 
 
 def ablation_workload(params: Dict[str, object]) -> Graph:
@@ -57,8 +57,17 @@ def ablation_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
         float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
     )
     graph = ablation_workload(params)
-    measurement, _ = measure_deterministic(
-        graph, parameters, graph_name="ablation", sample_pairs=int(params["sample_pairs"])
+    measurement, _ = measure_algorithm(
+        graph,
+        str(params["algorithm"]),
+        {
+            "epsilon": float(params["epsilon"]),
+            "kappa": int(params["kappa"]),
+            "rho": float(params["rho"]),
+            "epsilon_is_internal": True,
+        },
+        graph_name="ablation",
+        sample_pairs=int(params["sample_pairs"]),
     )
     guarantee = parameters.stretch_bound()
     return {
@@ -184,6 +193,7 @@ def _ablation_defaults(
         "p_inter": 0.02,
         "graph_seed": graph_seed,
         "sample_pairs": sample_pairs,
+        "algorithm": "new-centralized",
     }
     if graph is not None:
         defaults["graph"] = graph
@@ -212,7 +222,7 @@ def epsilon_ablation_spec(
         workload_keys=("clusters", "cluster_size", "p_intra", "p_inter", "graph_seed"),
         task=ablation_task,
         merge=epsilon_merge,
-        version="1",
+        version="2",
     )
 
 
@@ -238,7 +248,7 @@ def rho_ablation_spec(
         workload_keys=("clusters", "cluster_size", "p_intra", "p_inter", "graph_seed"),
         task=ablation_task,
         merge=rho_merge,
-        version="1",
+        version="2",
     )
 
 
@@ -263,7 +273,7 @@ def kappa_ablation_spec(
         workload_keys=("clusters", "cluster_size", "p_intra", "p_inter", "graph_seed"),
         task=ablation_task,
         merge=kappa_merge,
-        version="1",
+        version="2",
     )
 
 

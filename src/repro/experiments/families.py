@@ -27,8 +27,7 @@ from ..graphs.components import num_components, same_component_structure
 from ..graphs.generators import make_workload
 from .registry import ScenarioSpec, register, size_sweep_expand
 from .results import ExperimentRecord
-from .runner import measure_deterministic, measurement_row
-from .workloads import default_parameters
+from .runner import measure_algorithm, measurement_row
 
 
 def family_workload(params: Dict[str, object]):
@@ -39,27 +38,30 @@ def family_workload(params: Dict[str, object]):
 
 
 def family_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
-    """Measure the deterministic algorithm on one family grid point."""
-    parameters = default_parameters(
-        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
-    )
+    """Measure one registered algorithm on one family grid point."""
+    algorithm = str(params["algorithm"])
     graph = family_workload(params)
-    measurement, result = measure_deterministic(
+    measurement, run = measure_algorithm(
         graph,
-        parameters,
+        algorithm,
+        {
+            "epsilon": float(params["epsilon"]),
+            "kappa": int(params["kappa"]),
+            "rho": float(params["rho"]),
+            "epsilon_is_internal": True,
+        },
         graph_name=f"{params['family']}-{params['size']}",
-        engine=str(params["engine"]),
         sample_pairs=int(params["sample_pairs"]),
         seed=int(params["workload_seed"]),
     )
     row = measurement_row(measurement)
-    row["engine"] = params["engine"]
+    row["engine"] = run.engine
     row["components"] = num_components(graph)
-    row["spanner_components"] = num_components(result.spanner)
-    row["component_structure_preserved"] = same_component_structure(graph, result.spanner)
+    row["spanner_components"] = num_components(run.spanner)
+    row["component_structure_preserved"] = same_component_structure(graph, run.spanner)
     return {
         "size": int(params["size"]),
-        "engine": str(params["engine"]),
+        "algorithm": algorithm,
         "row": row,
         "edges": float(measurement.num_spanner_edges),
         "graph_edges": float(graph.num_edges),
@@ -119,7 +121,7 @@ def family_spec(
     name: str,
     description: str,
     sizes,
-    engines=("centralized",),
+    algorithms=("new-centralized",),
     epsilon: float = 0.25,
     kappa: int = 3,
     rho: float = 1.0 / 3.0,
@@ -127,7 +129,12 @@ def family_spec(
     sample_pairs: int = 120,
     extra_checks: Dict[str, object] = None,
 ) -> ScenarioSpec:
-    """A measurement scenario over one workload family (size x engine grid)."""
+    """A measurement scenario over one workload family (size x algorithm grid).
+
+    ``algorithms`` holds registered algorithm names (see
+    ``repro.algorithms.select``); the default measures the paper's
+    centralized engine.
+    """
     checks = dict(_FAMILY_CHECKS)
     checks.update(extra_checks or {})
     return ScenarioSpec(
@@ -137,7 +144,7 @@ def family_spec(
         defaults={
             "family": family,
             "sizes": list(sizes),
-            "engines": list(engines),
+            "algorithms": list(algorithms),
             "epsilon": epsilon,
             "kappa": kappa,
             "rho": rho,
@@ -150,7 +157,7 @@ def family_spec(
         task=family_task,
         merge=family_merge,
         checks=checks,
-        version="1",
+        version="2",
     )
 
 
@@ -169,7 +176,7 @@ SMALL_WORLD_SPEC = register(
             "with shortcut chords, measured on both engines."
         ),
         sizes=(64, 128),
-        engines=("centralized", "distributed"),
+        algorithms=("new-centralized", "new-distributed"),
         seed=29,
     )
 )

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+from ..algorithms import get_spec as get_algorithm
 from ..analysis.stretch import evaluate_stretch, evaluate_stretch_sampled
 from ..core.parameters import SpannerParameters
 from ..core.result import SpannerResult
@@ -503,11 +504,24 @@ def figure_workload(params: Dict[str, object]) -> Graph:
 def figure_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
     """Build the spanner run and evaluate one figure experiment on it."""
     graph = figure_workload(params)
-    parameters = default_parameters(
-        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
+    spec = get_algorithm(str(params["algorithm"]))
+    run = spec.run(
+        graph,
+        spec.subset_params(
+            {
+                "epsilon": float(params["epsilon"]),
+                "kappa": int(params["kappa"]),
+                "rho": float(params["rho"]),
+                "epsilon_is_internal": True,
+            }
+        ),
     )
-    result = build_result(graph, parameters, engine=str(params["engine"]))
-    record = ALL_FIGURES[str(params["figure"])](result)
+    if not isinstance(run.source, SpannerResult):
+        raise ValueError(
+            f"figure experiments need an engine run with full phase structure; "
+            f"{run.algorithm!r} is not an engine algorithm"
+        )
+    record = ALL_FIGURES[str(params["figure"])](run.source)
     return record.to_dict()
 
 
@@ -528,10 +542,15 @@ def figure_spec(
     epsilon: float = 0.25,
     kappa: int = 3,
     rho: float = 1.0 / 3.0,
-    engine: str = "centralized",
+    algorithm: str = "new-centralized",
     graph: Optional[Graph] = None,
 ) -> ScenarioSpec:
-    """One figure experiment as a pipeline scenario."""
+    """One figure experiment as a pipeline scenario.
+
+    ``algorithm`` must name a registered *engine* algorithm (the figure
+    experiments inspect the full phase structure of a
+    :class:`SpannerResult`).
+    """
     if figure not in ALL_FIGURES:
         raise KeyError(f"unknown figure {figure!r}")
     defaults: Dict[str, object] = {
@@ -544,7 +563,7 @@ def figure_spec(
         "epsilon": epsilon,
         "kappa": kappa,
         "rho": rho,
-        "engine": engine,
+        "algorithm": algorithm,
     }
     if graph is not None:
         defaults["graph"] = graph
@@ -557,7 +576,7 @@ def figure_spec(
         workload_keys=("clusters", "cluster_size", "p_intra", "p_inter", "workload_seed"),
         task=figure_task,
         merge=figure_merge,
-        version="1",
+        version="2",
     )
 
 

@@ -80,21 +80,22 @@ def fingerprint_graph(graph: Graph) -> str:
 
 def size_sweep_expand(defaults: Params) -> List[Params]:
     """Shared expansion for size sweeps: one task per size (crossed with an
-    optional ``engines`` axis), with ``workload_seed = seed + position``.
+    optional ``algorithms`` axis of registered algorithm names), with
+    ``workload_seed = seed + position``.
 
     The seed-follows-sweep-position convention is load-bearing for store
     invalidation (inserting a size mid-list shifts every later task's key and
     workload), so every size-sweeping scenario must use this one expander.
     """
     sizes = list(defaults.pop("sizes"))
-    engines = list(defaults.pop("engines")) if "engines" in defaults else [None]
+    algorithms = list(defaults.pop("algorithms")) if "algorithms" in defaults else [None]
     base_seed = int(defaults["seed"])
     points: List[Params] = []
     for index, size in enumerate(sizes):
-        for engine in engines:
+        for algorithm in algorithms:
             point = dict(defaults, size=int(size), workload_seed=base_seed + index)
-            if engine is not None:
-                point["engine"] = engine
+            if algorithm is not None:
+                point["algorithm"] = algorithm
             points.append(point)
     return points
 

@@ -1,9 +1,14 @@
 """Experiment runner: single-run measurement and parameter sweeps.
 
 This is the shared machinery under the per-table/per-figure experiment
-modules: build a spanner (with the requested engine or baseline), verify its
-guarantee on sampled pairs, and collect the measurements that populate the
-experiment rows.
+modules: build a spanner (any registered algorithm, by name, through the
+algorithm registry), verify its guarantee on sampled pairs, and collect the
+measurements that populate the experiment rows.
+
+:func:`measure_algorithm` is the registry-driven entry point every scenario
+task uses; :func:`measure_deterministic` / :func:`measure_baseline` are the
+historical direct-call forms, kept for scripts that hold a
+:class:`SpannerParameters` or a builder closure.
 """
 
 from __future__ import annotations
@@ -11,8 +16,9 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..algorithms import RunResult, get_spec
 from ..analysis.stretch import evaluate_stretch, evaluate_stretch_sampled
 from ..baselines.base import BaselineResult
 from ..core.parameters import SpannerParameters
@@ -75,6 +81,59 @@ def measurement_row(measurement: "Measurement") -> Dict[str, object]:
     for fieldname in TIMING_FIELDS:
         row.pop(fieldname, None)
     return row
+
+
+def measure_algorithm(
+    graph: Graph,
+    algorithm: str,
+    params: Optional[Mapping[str, object]] = None,
+    *,
+    graph_name: str = "graph",
+    sample_pairs: int = 400,
+    seed: int = 0,
+    stretch_seed: Optional[int] = None,
+) -> Tuple[Measurement, RunResult]:
+    """Build with any registered algorithm (by name) and measure the result.
+
+    ``params`` are the algorithm's declared parameters (missing ones take the
+    spec defaults); ``seed`` feeds the randomized constructions and, unless
+    ``stretch_seed`` overrides it, the stretch-evaluation pair sampling.
+    """
+    spec = get_spec(algorithm)
+    start = time.perf_counter()
+    run = spec.run(graph, params, seed=seed)
+    elapsed = time.perf_counter() - start
+    guarantee = run.effective_guarantee()
+    stretch = _stretch_for(
+        graph,
+        run.spanner,
+        sample_pairs,
+        seed if stretch_seed is None else stretch_seed,
+        guarantee,
+    )
+    extra: Dict[str, object] = {}
+    edges_by_step = run.details.get("edges_by_step")
+    if isinstance(edges_by_step, dict):
+        extra = {
+            "superclustering_edges": edges_by_step.get("superclustering", 0),
+            "interconnection_edges": edges_by_step.get("interconnection", 0),
+        }
+    measurement = Measurement(
+        algorithm=run.algorithm,
+        graph_name=graph_name,
+        num_vertices=graph.num_vertices,
+        num_graph_edges=graph.num_edges,
+        num_spanner_edges=run.num_edges,
+        nominal_rounds=run.nominal_rounds,
+        multiplicative_bound=guarantee.multiplicative if guarantee else None,
+        additive_bound=guarantee.additive if guarantee else None,
+        measured_max_multiplicative=stretch.max_multiplicative,
+        measured_max_additive=stretch.max_additive_surplus,
+        guarantee_satisfied=stretch.satisfies_guarantee,
+        wall_seconds=elapsed,
+        extra=extra,
+    )
+    return measurement, run
 
 
 def measure_deterministic(

@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 from ..graphs.generators import make_workload
 from .registry import ScenarioSpec, register, size_sweep_expand
 from .results import ExperimentRecord
-from .runner import fit_power_law, measure_deterministic, measurement_row
+from .runner import fit_power_law, measure_algorithm, measurement_row
 from .workloads import default_parameters
 
 
@@ -26,17 +26,22 @@ def scaling_workload(params: Dict[str, object]):
 
 
 def scaling_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
-    """Measure the deterministic algorithm at one size of the sweep."""
+    """Measure the registered algorithm at one size of the sweep."""
     parameters = default_parameters(
         float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
     )
     size = int(params["size"])
     graph = scaling_workload(params)
-    measurement, _ = measure_deterministic(
+    measurement, _ = measure_algorithm(
         graph,
-        parameters,
+        str(params["algorithm"]),
+        {
+            "epsilon": float(params["epsilon"]),
+            "kappa": int(params["kappa"]),
+            "rho": float(params["rho"]),
+            "epsilon_is_internal": True,
+        },
         graph_name=f"{params['family']}-{size}",
-        engine=str(params["engine"]),
         sample_pairs=int(params["sample_pairs"]),
         seed=int(params["seed"]),
     )
@@ -71,7 +76,7 @@ def scaling_merge(
             "rho": rho,
             "family": defaults["family"],
             "sizes": list(sizes),
-            "engine": defaults["engine"],
+            "algorithm": defaults["algorithm"],
         },
     )
     rounds = [float(payload["rounds"]) for payload in payloads]
@@ -110,7 +115,7 @@ def scaling_spec(
     rho: float = 1.0 / 3.0,
     family: str = "gnp",
     seed: int = 23,
-    engine: str = "centralized",
+    algorithm: str = "new-centralized",
     sample_pairs: int = 150,
 ) -> ScenarioSpec:
     """The scaling scenario at an arbitrary scale (the registry holds the CLI scale)."""
@@ -128,7 +133,7 @@ def scaling_spec(
             "rho": rho,
             "family": family,
             "seed": seed,
-            "engine": engine,
+            "algorithm": algorithm,
             "sample_pairs": sample_pairs,
         },
         expand=size_sweep_expand,
@@ -136,7 +141,7 @@ def scaling_spec(
         workload_keys=("family", "size", "workload_seed"),
         task=scaling_task,
         merge=scaling_merge,
-        version="1",
+        version="2",
     )
 
 
@@ -151,7 +156,7 @@ def run_scaling(
     rho: float = 1.0 / 3.0,
     family: str = "gnp",
     seed: int = 23,
-    engine: str = "centralized",
+    algorithm: str = "new-centralized",
     sample_pairs: int = 150,
 ) -> ExperimentRecord:
     """Sweep ``n`` and check the round/size scaling exponents."""
@@ -165,7 +170,7 @@ def run_scaling(
             rho=rho,
             family=family,
             seed=seed,
-            engine=engine,
+            algorithm=algorithm,
             sample_pairs=sample_pairs,
         )
     )

@@ -28,11 +28,10 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.bounds import beta_elkin05, beta_new, table1_rows
-from ..baselines.elkin05_surrogate import build_elkin05_surrogate_spanner
 from ..graphs.generators import make_workload
 from .registry import ScenarioSpec, register, size_sweep_expand
 from .results import ExperimentRecord
-from .runner import fit_power_law, measure_baseline, measure_deterministic, measurement_row
+from .runner import fit_power_law, measure_algorithm, measurement_row
 from .workloads import default_parameters
 
 _KAPPA_SWEEP = [4, 8, 16, 32, 64, 128, 256, 512]
@@ -60,17 +59,23 @@ def table1_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
     parameters = default_parameters(
         float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
     )
+    stretch_pool = {
+        "epsilon": float(params["epsilon"]),
+        "kappa": int(params["kappa"]),
+        "rho": float(params["rho"]),
+        "epsilon_is_internal": True,
+    }
     graph = table1_workload(params)
     family = str(params["family"])
     size = int(params["size"])
     sample_pairs = int(params["sample_pairs"])
     stretch_seed = int(params["seed"])
 
-    measurement, result = measure_deterministic(
+    measurement, run = measure_algorithm(
         graph,
-        parameters,
+        "new-centralized",
+        stretch_pool,
         graph_name=f"{family}-{size}",
-        engine="centralized",
         sample_pairs=sample_pairs,
         seed=stretch_seed,
     )
@@ -83,15 +88,16 @@ def table1_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
     base = max(2, math.ceil(graph.num_vertices ** (1.0 / c)))
     selection_new = 0.0
     selection_sequential = 0.0
-    for phase in result.phase_records:
-        if phase.index >= parameters.ell or phase.num_popular == 0:
+    for phase in run.phases:
+        if int(phase["index"]) >= parameters.ell or int(phase["num_popular"]) == 0:
             continue
-        selection_new += c * base * 2 * phase.delta
-        selection_sequential += phase.num_popular * 2 * phase.delta
+        selection_new += c * base * 2 * int(phase["delta"])
+        selection_sequential += int(phase["num_popular"]) * 2 * int(phase["delta"])
 
-    surrogate_measurement, _ = measure_baseline(
+    surrogate_measurement, _ = measure_algorithm(
         graph,
-        lambda: build_elkin05_surrogate_spanner(graph, parameters),
+        "elkin05-surrogate",
+        stretch_pool,
         graph_name=f"{family}-{size}",
         sample_pairs=sample_pairs,
         seed=stretch_seed,
@@ -240,7 +246,7 @@ def table1_spec(
         workload_keys=("family", "size", "workload_seed", "edge_probability"),
         task=table1_task,
         merge=table1_merge,
-        version="1",
+        version="2",
     )
 
 

@@ -17,25 +17,26 @@ cost is an additive term), whereas the multiplicative baselines show ratios
 approaching ``2 kappa - 1`` on long-diameter inputs, while all of them produce
 spanners of comparable (``~ n^{1 + 1/kappa}``) size.
 
-The engine/baseline axis is the scenario's *matrix*: one pipeline task per
-implemented algorithm, all measured on the same shared workload graph.
+The engine/baseline axis is the scenario's *matrix*, and it is built from the
+algorithm registry: every registered algorithm that is practical at the
+workload size (:meth:`AlgorithmSpec.practical_for`, the capability hint that
+replaced the old hard-coded "greedy only when n <= 400" rule) gets one
+pipeline task, all measured on the same shared workload graph.  Registering a
+new algorithm automatically adds its measured row to this table.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..algorithms import get_spec as get_algorithm
+from ..algorithms import select as select_algorithms
 from ..analysis.bounds import table2_rows
-from ..baselines.baswana_sen import build_baswana_sen_spanner
-from ..baselines.elkin_neiman import build_elkin_neiman_spanner
-from ..baselines.elkin_peleg import build_elkin_peleg_spanner
-from ..baselines.greedy import build_greedy_spanner
 from ..graphs.generators import clustered_path_graph
 from ..graphs.graph import Graph
 from .registry import ScenarioSpec, register
 from .results import ExperimentRecord
-from .runner import measure_baseline, measure_deterministic, measurement_row
-from .workloads import default_parameters
+from .runner import measure_algorithm, measurement_row
 
 def table2_workload(params: Dict[str, object]) -> Graph:
     """The shared workload graph every algorithm of the matrix runs on."""
@@ -46,61 +47,63 @@ def table2_workload(params: Dict[str, object]) -> Graph:
     return clustered_path_graph(max(2, n // 10), 10)
 
 
+def _stretch_parameter_pool(params: Dict[str, object]) -> Dict[str, object]:
+    """The shared parameter pool each algorithm spec picks its subset from.
+
+    The experiments use the internal-epsilon convention (human-scale phase
+    thresholds); each spec's :meth:`subset_params` keeps exactly the
+    parameters it declares, so e.g. ``greedy`` sees only ``kappa``.
+    """
+    return {
+        "epsilon": float(params["epsilon"]),
+        "kappa": int(params["kappa"]),
+        "rho": float(params["rho"]),
+        "epsilon_is_internal": True,
+    }
+
+
 def table2_expand(defaults: Dict[str, object]) -> List[Dict[str, object]]:
-    """One task per implemented algorithm, gated like the original table."""
+    """One task per registered algorithm practical at the workload size.
+
+    The matrix is a registry query, not a hand-written list: every algorithm
+    whose ``max_practical_vertices`` capability hint admits the workload is
+    included (engine variants first).  The ``include_distributed`` /
+    ``include_greedy`` flags remain as explicit opt-outs for callers that want
+    a faster table.
+    """
     graph = defaults.get("graph")
     if isinstance(graph, Graph):
         num_vertices = graph.num_vertices
     else:
         num_vertices = max(2, int(defaults["n"]) // 10) * 10
-    algorithms = ["new-centralized"]
-    if defaults.get("include_distributed", True) and num_vertices <= 300:
-        algorithms.append("new-distributed")
-    algorithms += ["elkin-neiman-2017", "elkin-peleg-2001", "baswana-sen"]
-    if defaults.get("include_greedy", True) and num_vertices <= 400:
-        algorithms.append("greedy")
-    return [dict(defaults, algorithm=algorithm) for algorithm in algorithms]
+    excluded = set()
+    if not defaults.get("include_distributed", True):
+        excluded.add("new-distributed")
+    if not defaults.get("include_greedy", True):
+        excluded.add("greedy")
+    return [
+        dict(defaults, algorithm=spec.name)
+        for spec in select_algorithms(max_vertices=num_vertices)
+        if spec.name not in excluded
+    ]
 
 
 def table2_task(params: Dict[str, object], seed: int) -> Dict[str, object]:
     """Measure one algorithm of the matrix on the shared workload."""
     algorithm = str(params["algorithm"])
-    parameters = default_parameters(
-        float(params["epsilon"]), int(params["kappa"]), float(params["rho"])
-    )
+    spec = get_algorithm(algorithm)
     graph = table2_workload(params)
-    sample_pairs = int(params["sample_pairs"])
-    run_seed = int(params["seed"])
-
-    if algorithm in ("new-centralized", "new-distributed"):
-        engine = algorithm.split("-", 1)[1]
-        measurement, _ = measure_deterministic(
-            graph,
-            parameters,
-            graph_name="workload",
-            engine=engine,
-            sample_pairs=sample_pairs,
-        )
-    else:
-        kappa = int(params["kappa"])
-        builders = {
-            "elkin-neiman-2017": lambda: build_elkin_neiman_spanner(
-                graph, parameters, seed=run_seed
-            ),
-            "elkin-peleg-2001": lambda: build_elkin_peleg_spanner(graph, parameters),
-            "baswana-sen": lambda: build_baswana_sen_spanner(graph, kappa, seed=run_seed),
-            "greedy": lambda: build_greedy_spanner(graph, 2 * kappa - 1),
-        }
-        measurement, _ = measure_baseline(
-            graph,
-            builders[algorithm],
-            graph_name="workload",
-            sample_pairs=sample_pairs,
-            seed=run_seed,
-        )
-
+    measurement, _ = measure_algorithm(
+        graph,
+        algorithm,
+        spec.subset_params(_stretch_parameter_pool(params)),
+        graph_name="workload",
+        sample_pairs=int(params["sample_pairs"]),
+        seed=int(params["seed"]),
+    )
     return {
         "algorithm": algorithm,
+        "tags": sorted(spec.tags),
         "n": graph.num_vertices,
         "m": graph.num_edges,
         "row": dict(measurement_row(measurement), kind="measured"),
@@ -141,11 +144,13 @@ def table2_merge(
     guarantee_ok = all(bool(payload["guarantee_ok"]) for payload in payloads)
     record.rows.extend(measured)
 
+    # Classify rows by their registry tags (carried in the payloads), not by
+    # name patterns, so new registrations land in the right comparison class.
     near_additive = [
-        row for row in measured if "deterministic" in str(row["algorithm"]) or "elkin" in str(row["algorithm"])
+        payload["row"] for payload in payloads if "near-additive" in payload["tags"]
     ]
     multiplicative = [
-        row for row in measured if str(row["algorithm"]) in ("baswana-sen", "greedy")
+        payload["row"] for payload in payloads if "multiplicative" in payload["tags"]
     ]
     record.checks["all-guarantees-hold"] = guarantee_ok
     if near_additive and multiplicative:
@@ -207,7 +212,7 @@ def table2_spec(
         workload_keys=("n",),
         task=table2_task,
         merge=table2_merge,
-        version="1",
+        version="2",
     )
 
 

@@ -1,0 +1,188 @@
+"""Tests for the declarative algorithm registry and the ``build()`` facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import algorithms, build
+from repro.algorithms import AlgorithmSpec, ParamSpec, RunResult, get_spec, register, select
+from repro.core.parameters import StretchGuarantee
+from repro.core.result import SpannerResult
+from repro.graphs import gnp_random_graph
+
+EXPECTED_ALGORITHMS = {
+    "new-centralized",
+    "new-distributed",
+    "elkin-neiman-2017",
+    "elkin-peleg-2001",
+    "elkin05-surrogate",
+    "baswana-sen",
+    "greedy",
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(36, 0.15, seed=3)
+
+
+class TestBuiltinRegistry:
+    def test_every_expected_algorithm_registered(self):
+        assert EXPECTED_ALGORITHMS <= set(algorithms.algorithm_names())
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("no-such-algorithm")
+
+    def test_select_by_tags(self):
+        near_additive = {spec.name for spec in select(tags=("near-additive",))}
+        assert near_additive == {
+            "new-centralized",
+            "new-distributed",
+            "elkin-neiman-2017",
+            "elkin-peleg-2001",
+            "elkin05-surrogate",
+        }
+        multiplicative = {spec.name for spec in select(tags=("multiplicative",))}
+        assert multiplicative == {"baswana-sen", "greedy"}
+        deterministic_congest = {
+            spec.name for spec in select(tags=("deterministic", "congest"))
+        }
+        assert deterministic_congest == {"new-distributed", "elkin05-surrogate"}
+
+    def test_select_engines_sort_first(self):
+        names = [spec.name for spec in select()]
+        assert names[:2] == ["new-centralized", "new-distributed"]
+
+    def test_select_consults_capability_hints(self):
+        # greedy caps at 400 and the distributed engine at 300 vertices; the
+        # capability hint replaces the old hard-coded size rules.
+        names_small = {spec.name for spec in select(max_vertices=200)}
+        assert {"greedy", "new-distributed"} <= names_small
+        names_mid = {spec.name for spec in select(max_vertices=350)}
+        assert "new-distributed" not in names_mid
+        assert "greedy" in names_mid
+        names_large = {spec.name for spec in select(max_vertices=500)}
+        assert "greedy" not in names_large
+
+    def test_duplicate_registration_rejected(self):
+        # Registered under a throwaway name and removed again: leaking a test
+        # algorithm into the global registry would enlarge every
+        # registry-driven scenario matrix (e.g. table2's).
+        from repro.algorithms import registry as registry_module
+
+        spec = AlgorithmSpec(
+            name="duplicate-algorithm-test",
+            description="d",
+            build=lambda graph, params, *, seed=0, simulator=None: None,
+        )
+        register(spec)
+        try:
+            with pytest.raises(ValueError):
+                register(
+                    AlgorithmSpec(
+                        name="duplicate-algorithm-test",
+                        description="d",
+                        build=lambda graph, params, *, seed=0, simulator=None: None,
+                    )
+                )
+            assert register(spec) is spec  # re-registering the same object is a no-op
+        finally:
+            registry_module._REGISTRY.pop("duplicate-algorithm-test", None)
+
+    def test_every_spec_describes_json_safely(self):
+        for spec in algorithms.all_specs():
+            description = spec.describe()
+            json.dumps(description)
+            assert description["name"] == spec.name
+            assert description["tags"] == list(spec.tags)
+
+
+class TestParamSchema:
+    def test_defaults_and_resolution(self):
+        spec = get_spec("new-centralized")
+        resolved = spec.resolve_params({"epsilon": 0.25})
+        assert resolved["epsilon"] == 0.25
+        assert resolved["kappa"] == 3
+        assert resolved["epsilon_is_internal"] is False
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("greedy").resolve_params({"epsilon": 0.25})
+
+    def test_subset_params_picks_declared_subset(self):
+        pool = {"epsilon": 0.25, "kappa": 4, "rho": 0.5, "epsilon_is_internal": True}
+        assert get_spec("greedy").subset_params(pool) == {"kappa": 4}
+        assert get_spec("elkin-peleg-2001").subset_params(pool) == pool
+
+    def test_declared_guarantee_formulas(self):
+        greedy = get_spec("greedy").declared_guarantee({"stretch": 7})
+        assert greedy == StretchGuarantee(multiplicative=7.0, additive=0.0)
+        baswana = get_spec("baswana-sen").declared_guarantee({"kappa": 4})
+        assert baswana.multiplicative == 7.0
+        engine = get_spec("new-centralized").declared_guarantee(
+            {"epsilon": 0.25, "epsilon_is_internal": True}
+        )
+        assert engine.multiplicative > 1.0
+        assert engine.additive > 0.0
+
+
+class TestBuildFacade:
+    def test_build_by_name(self, graph):
+        run = build("greedy", graph, stretch=5)
+        assert isinstance(run, RunResult)
+        assert run.algorithm == "greedy"
+        assert run.spanner.is_subgraph_of(graph)
+        assert run.effective_guarantee().multiplicative == 5.0
+
+    def test_build_unknown_name(self, graph):
+        with pytest.raises(KeyError):
+            build("no-such-algorithm", graph)
+
+    def test_build_unknown_parameter(self, graph):
+        with pytest.raises(KeyError):
+            build("baswana-sen", graph, epsilon=0.5)
+
+    def test_engine_run_keeps_full_source(self, graph):
+        run = build(
+            "new-centralized", graph, epsilon=0.25, epsilon_is_internal=True
+        )
+        assert isinstance(run.source, SpannerResult)
+        assert run.engine == "centralized"
+        assert run.phases and "num_clusters" in run.phases[0]
+        assert run.details["edges_by_step"]["total"] == run.num_edges
+
+    def test_distributed_run_carries_ledger(self, graph):
+        run = build(
+            "new-distributed", graph, epsilon=0.25, epsilon_is_internal=True
+        )
+        assert run.engine == "distributed"
+        assert run.ledger_summary is not None
+        assert run.ledger_summary["nominal_rounds"] == run.nominal_rounds
+
+    def test_simulator_rejected_outside_distributed_engine(self, graph):
+        with pytest.raises(ValueError):
+            build("greedy", graph, simulator=object())
+        with pytest.raises(ValueError):
+            build("new-centralized", graph, simulator=object())
+
+    def test_randomized_builds_respect_seed(self, graph):
+        first = build("baswana-sen", graph, seed=5)
+        again = build("baswana-sen", graph, seed=5)
+        other = build("elkin-neiman-2017", graph, seed=6, epsilon=0.25,
+                      epsilon_is_internal=True)
+        assert sorted(first.spanner.edge_set()) == sorted(again.spanner.edge_set())
+        assert other.algorithm == "elkin-neiman-2017"
+
+    def test_run_result_label_contract_enforced(self, graph):
+        def mislabelled(graph, params, *, seed=0, simulator=None):
+            return RunResult(algorithm="wrong-name", graph=graph, spanner=graph)
+
+        # Deliberately *not* registered: the contract is enforced by run().
+        spec = AlgorithmSpec(
+            name="label-contract-test", description="d", build=mislabelled
+        )
+        with pytest.raises(RuntimeError):
+            spec.run(graph)

@@ -1,0 +1,108 @@
+"""Regression tests pinning the unified run-result serialization schema.
+
+Before the algorithm registry, ``SpannerResult.to_dict()`` and
+``BaselineResult.to_dict()`` drifted apart (different key names for the
+guarantee and the edge counts).  Both now emit the single
+``repro-run-result/v1`` schema; these tests pin the exact key set so the
+schemas cannot drift apart again.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import build, build_spanner, make_parameters
+from repro.algorithms import RUN_RESULT_KEYS, RUN_RESULT_SCHEMA
+from repro.baselines import build_baswana_sen_spanner, build_greedy_spanner
+from repro.graphs import gnp_random_graph
+
+#: The one schema every serialized run must emit, pinned key by key.
+PINNED_KEYS = (
+    "schema",
+    "algorithm",
+    "engine",
+    "num_vertices",
+    "num_graph_edges",
+    "num_spanner_edges",
+    "nominal_rounds",
+    "guarantee",
+    "phases",
+    "details",
+    "ledger",
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(30, 0.15, seed=4)
+
+
+@pytest.fixture(scope="module")
+def parameters():
+    return make_parameters(0.25, 3, 1.0 / 3.0, epsilon_is_internal=True)
+
+
+def test_pinned_keys_match_declared_constant():
+    assert RUN_RESULT_KEYS == PINNED_KEYS
+
+
+def _assert_unified(data, algorithm):
+    assert tuple(data.keys()) == PINNED_KEYS
+    assert data["schema"] == RUN_RESULT_SCHEMA
+    assert data["algorithm"] == algorithm
+    assert data["num_vertices"] == 30
+    assert isinstance(data["num_graph_edges"], int)
+    assert isinstance(data["num_spanner_edges"], int)
+    guarantee = data["guarantee"]
+    assert guarantee is None or set(guarantee) == {"multiplicative", "additive"}
+    json.dumps(data)  # the whole record must be JSON-safe
+
+
+def test_spanner_result_emits_unified_schema(graph, parameters):
+    result = build_spanner(graph, parameters=parameters)
+    data = result.to_dict()
+    _assert_unified(data, "new-centralized")
+    assert data["engine"] == "centralized"
+    assert data["ledger"] is None
+    assert len(data["phases"]) == parameters.num_phases
+    assert data["details"]["edges_by_step"]["total"] == result.num_edges
+    guarantee = parameters.stretch_bound()
+    assert data["guarantee"] == {
+        "multiplicative": guarantee.multiplicative,
+        "additive": guarantee.additive,
+    }
+
+
+def test_distributed_spanner_result_emits_ledger(graph, parameters):
+    result = build_spanner(graph, parameters=parameters, engine="distributed")
+    data = result.to_dict()
+    _assert_unified(data, "new-distributed")
+    assert data["ledger"]["nominal_rounds"] == result.nominal_rounds
+
+
+def test_baseline_result_emits_unified_schema(graph):
+    result = build_greedy_spanner(graph, 5)
+    data = result.to_dict()
+    _assert_unified(data, "greedy")
+    assert data["engine"] is None
+    assert data["guarantee"] == {"multiplicative": 5.0, "additive": 0.0}
+    assert data["details"]["stretch"] == 5
+
+
+def test_baseline_phase_stats_land_in_phases_key(graph):
+    from repro.baselines import build_elkin_neiman_spanner
+
+    parameters = make_parameters(0.25, 3, 1.0 / 3.0, epsilon_is_internal=True)
+    result = build_elkin_neiman_spanner(graph, parameters, seed=2)
+    data = result.to_dict()
+    _assert_unified(data, "elkin-neiman-2017")
+    assert data["phases"], "per-phase stats must move from details to phases"
+    assert "phases" not in data["details"]
+
+
+def test_facade_and_legacy_serializations_agree(graph):
+    run = build("baswana-sen", graph, kappa=3, seed=7)
+    legacy = build_baswana_sen_spanner(graph, 3, seed=7)
+    assert run.to_dict() == legacy.to_dict()

@@ -22,7 +22,7 @@ SRC = REPO_ROOT / "src"
 #: (script, tiny argv, a string its stdout must contain)
 CASES = [
     ("quickstart.py", ["40", "0.1"], "input graph"),
-    ("compare_baselines.py", ["40"], "new-deterministic"),
+    ("compare_baselines.py", ["40"], "new-centralized"),
     ("congestion_audit.py", ["40"], "congestion"),
     ("phase_dynamics.py", ["3", "8"], "phase"),
     ("approximate_shortest_paths.py", ["3", "6"], "spanner"),

@@ -95,7 +95,7 @@ class TestSuiteResume:
 
         spec = epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40)
         run_suite([spec], store=tmp_path, resume=True)
-        bumped = dataclasses.replace(spec, version="2")
+        bumped = dataclasses.replace(spec, version=spec.version + "-bumped")
         result = run_suite([bumped], store=tmp_path, resume=True)
         assert result.manifest()["scenarios"][0]["cache_hits"] == 0
 

@@ -44,6 +44,58 @@ def test_build_from_file_and_write_output(tmp_path, capsys):
     assert spanner.is_subgraph_of(graph)
 
 
+def test_build_with_registered_baseline_algorithm(capsys):
+    exit_code = main(
+        ["build", "--algorithm", "greedy", "--param", "stretch=5",
+         "--family", "grid", "--size", "49", "--verify"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "algorithm: greedy" in output
+    assert "guarantee: d_H <= 5" in output
+    assert "guarantee satisfied: True" in output
+
+
+def test_build_distributed_via_algorithm_flag(capsys):
+    exit_code = main(
+        ["build", "--algorithm", "new-distributed", "--family", "gnp",
+         "--size", "50", "--seed", "1", "--internal", "--epsilon", "0.25"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "engine: distributed" in output
+    assert "per-phase statistics" in output
+
+
+def test_build_unknown_algorithm_errors(capsys):
+    assert main(["build", "--algorithm", "no-such-algorithm"]) == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
+def test_build_unknown_param_errors(capsys):
+    assert main(["build", "--algorithm", "greedy", "--param", "epsilon=0.5"]) == 2
+    assert "no parameters" in capsys.readouterr().err
+
+
+def test_algorithms_list_shows_registry(capsys):
+    assert main(["algorithms", "list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("new-centralized", "new-distributed", "elkin-neiman-2017",
+                 "elkin-peleg-2001", "elkin05-surrogate", "baswana-sen", "greedy"):
+        assert name in output
+
+
+def test_algorithms_list_tag_filter_and_json(capsys):
+    assert main(["algorithms", "list", "--tag", "multiplicative", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert {entry["name"] for entry in data} == {"baswana-sen", "greedy"}
+    assert data[0]["params"], "parameter schemas must be listed"
+
+
+def test_algorithms_list_unknown_tag(capsys):
+    assert main(["algorithms", "list", "--tag", "no-such-tag"]) == 2
+
+
 def test_params_command_outputs_json(capsys):
     exit_code = main(["params", "--epsilon", "0.25", "--kappa", "3", "--rho", "0.34", "--internal", "--size", "500"])
     assert exit_code == 0
