@@ -8,7 +8,11 @@ Runs, in order:
    committed ``BENCH_seed.json`` baseline (``--skip-benchmarks`` mode: the
    fixed distributed build and BFS-forest protocol must stay bit-identical --
    wall-clock benchmarks are skipped, so this is fast and hardware-independent),
-3. the EXPERIMENTS.md drift check
+3. a quick-mode run of the phase-level micro-benchmarks
+   (``benchmarks/bench_phases.py --benchmark-disable``: the superclustering /
+   interconnection phase drivers run once, assertions only -- catches phase
+   regressions without timing anything),
+4. the EXPERIMENTS.md drift check
    (``scripts/generate_experiments_md.py --check``: the committed docs must
    match the current algorithm/scenario registries).
 
@@ -82,6 +86,18 @@ def main(argv=None) -> int:
                 os.unlink(snapshot)
             except OSError:
                 pass
+    if ok or args.fast:
+        ok = run_stage(
+            "phase micro-benchmarks (quick mode)",
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                str(REPO_ROOT / "benchmarks" / "bench_phases.py"),
+                "--benchmark-disable",
+            ],
+        ) and ok
     if ok or args.fast:
         ok = run_stage(
             "experiments-md drift",

@@ -7,6 +7,9 @@ here on concrete runs:
 * **Lemma 2.4** -- every popular cluster is superclustered;
 * **Corollary 2.5** -- the unclustered collections ``U_0..U_ell`` partition ``V``;
 * **Lemmas 2.10 / 2.11** -- the per-phase cluster-count bounds;
+* **cluster-flow conservation** -- the per-phase counters the engines record
+  off the flat :class:`~repro.core.cluster_table.ClusterTable` (clusters in,
+  clusters out, merge batch size, forest edges) are mutually consistent;
 * **Theorem 2.2** -- the ruling set's separation and domination;
 * **Theorem 2.1 / interconnection** -- interconnected pairs are within
   ``delta_i`` and are joined by *shortest* paths in the spanner;
@@ -99,6 +102,7 @@ def verify_run(result, check_interconnection_paths: bool = True) -> Verification
     _check_radii(result, report)
     _check_popular_superclustered(result, report)
     _check_cluster_counts(result, report)
+    _check_phase_counter_conservation(result, report)
     _check_ruling_sets(result, report)
     _check_interconnection_budget(result, report)
     if check_interconnection_paths:
@@ -174,6 +178,48 @@ def _check_cluster_counts(result: SpannerResult, report: VerificationReport) -> 
             details = f"phase {i}: {record.num_clusters} clusters > bound {bound:.2f}"
             break
     report.add("lemmas-2.10-2.11-cluster-counts", ok, details)
+
+
+def _check_phase_counter_conservation(
+    result: SpannerResult, report: VerificationReport
+) -> None:
+    """The engine-recorded cluster-flow counters are mutually consistent.
+
+    These are the counters the engines read straight off the
+    :class:`~repro.core.cluster_table.ClusterTable` at every phase boundary
+    (no set sizes are recomputed here): every phase splits its ``|P_i|``
+    clusters into the merge batch and the retired set, the clusters handed to
+    phase ``i+1`` are exactly ``clusters_out``, and the superclustering step
+    never deduplicates more forest-path edges than it produced.
+    """
+    ok = True
+    details = ""
+    records = result.phase_records
+    for record in records:
+        if record.cluster_merges + record.num_unclustered != record.num_clusters:
+            ok = False
+            details = (
+                f"phase {record.index}: merges {record.cluster_merges} + "
+                f"unclustered {record.num_unclustered} != clusters {record.num_clusters}"
+            )
+            break
+        if record.superclustering_edges > record.forest_edges:
+            ok = False
+            details = (
+                f"phase {record.index}: {record.superclustering_edges} new "
+                f"superclustering edges from only {record.forest_edges} forest edges"
+            )
+            break
+    if ok:
+        for prev, nxt in zip(records, records[1:]):
+            if prev.clusters_out != nxt.num_clusters:
+                ok = False
+                details = (
+                    f"phase {prev.index} handed {prev.clusters_out} clusters on, "
+                    f"but phase {nxt.index} received {nxt.num_clusters}"
+                )
+                break
+    report.add("cluster-flow-conservation", ok, details)
 
 
 def _check_ruling_sets(result: SpannerResult, report: VerificationReport) -> None:

@@ -24,15 +24,13 @@ for [Elk05] are reproduced exactly from the published formulas in
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core.certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
-from ..core.clusters import ClusterCollection
+from ..core.cluster_table import ClusterTable
 from ..core.interconnection import count_interconnection_paths, interconnection_requests
 from ..core.parameters import SpannerParameters, guarantee_from_schedules
-from ..core.result import PhaseRecord, SpannerResult
 from ..core.superclustering import (
-    build_superclusters,
     deterministic_forest,
     forest_path_edges,
     spanned_center_roots,
@@ -88,7 +86,7 @@ def build_elkin05_surrogate_spanner(
     n = graph.num_vertices
     spanner = Graph(n)
     certificate = SpannerCertificate()
-    collection = ClusterCollection.singletons(n)
+    table = ClusterTable.singletons(n)
     nominal_rounds = 0
     phase_stats: List[Dict[str, int]] = []
 
@@ -97,7 +95,7 @@ def build_elkin05_surrogate_spanner(
     for i in parameters.phases():
         delta_i = deltas[i]
         degree_i = parameters.degree_threshold(i, n)
-        centers = collection.centers()
+        centers = table.centers()
 
         exploration = centralized_bounded_exploration(graph, centers, delta_i, degree_i)
         nominal_rounds += exploration.nominal_rounds
@@ -115,11 +113,10 @@ def build_elkin05_surrogate_spanner(
             forest_edges = forest_path_edges(parent, spanned_centers)
             certificate.record(forest_edges, i, SUPERCLUSTERING_STEP)
             spanner.add_edges(forest_edges)
-            next_collection, unclustered = build_superclusters(collection, center_root)
+            unclustered = table.supercluster(center_root)
             nominal_rounds += 2 * 2 * delta_i
         else:
-            next_collection = ClusterCollection()
-            unclustered = collection
+            unclustered = table.retire_all()
 
         requests = interconnection_requests(unclustered.centers(), exploration)
         interconnection_edges = centralized_traceback(exploration, requests)
@@ -140,8 +137,6 @@ def build_elkin05_surrogate_spanner(
                 "degree_threshold": degree_i,
             }
         )
-        if i < parameters.ell:
-            collection = next_collection
 
     guarantee = guarantee_from_schedules(radii, deltas)
     return BaselineResult(

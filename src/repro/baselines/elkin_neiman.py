@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.clusters import Cluster, ClusterCollection
+from ..core.cluster_table import ClusterTable
 from ..core.parameters import SpannerParameters, guarantee_from_schedules
 from ..graphs.bfs import bfs
 from ..graphs.graph import Graph, normalize_edge
@@ -72,14 +72,14 @@ def build_elkin_neiman_spanner(
     n = graph.num_vertices
     spanner = Graph(n)
     radii, deltas = _en_schedules(parameters)
-    collection = ClusterCollection.singletons(n)
+    table = ClusterTable.singletons(n)
     nominal_rounds = 0
     phase_stats: List[Dict[str, int]] = []
 
     for i in parameters.phases():
         delta_i = deltas[i]
         degree_i = parameters.degree_threshold(i, n)
-        centers = collection.centers()
+        centers = table.centers()
         nominal_rounds += 1 + degree_i * delta_i  # exploration / Bellman-Ford cost
 
         # Distance knowledge within delta_i of every center (centralized stand-in
@@ -151,13 +151,12 @@ def build_elkin_neiman_spanner(
         )
 
         if i < parameters.ell:
-            next_collection = ClusterCollection()
-            members: Dict[int, List[Cluster]] = {}
-            for center, host in superclustered.items():
-                members.setdefault(host, []).append(collection.by_center(center))
-            for host in sorted(members.keys()):
-                next_collection.add(Cluster.merge(host, members[host]))
-            collection = next_collection
+            # One batched flat-array sweep replaces the per-cluster merges:
+            # every center maps to its sampled host (hosts map to themselves),
+            # uncovered clusters retire.
+            table.supercluster(superclustered)
+        else:
+            table.retire_all()
 
     guarantee = guarantee_from_schedules(radii, deltas)
     return BaselineResult(

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.clusters import Cluster, ClusterCollection
+from ..core.cluster_table import ClusterTable
 from ..core.parameters import SpannerParameters, guarantee_from_schedules
 from ..graphs.bfs import bfs
 from ..graphs.graph import Graph, normalize_edge
@@ -61,13 +61,13 @@ def build_elkin_peleg_spanner(
     n = graph.num_vertices
     spanner = Graph(n)
     radii, deltas = _ep_schedules(parameters)
-    collection = ClusterCollection.singletons(n)
+    table = ClusterTable.singletons(n)
     phase_stats: List[Dict[str, int]] = []
 
     for i in parameters.phases():
         delta_i = deltas[i]
         degree_i = parameters.degree_threshold(i, n)
-        centers = collection.centers()
+        centers = table.centers()
 
         reach: Dict[int, Dict[int, int]] = {}
         parents: Dict[int, List[Optional[int]]] = {}
@@ -128,15 +128,16 @@ def build_elkin_peleg_spanner(
         )
 
         if i < parameters.ell:
-            next_collection = ClusterCollection()
-            for host in sorted(superclusters.keys()):
-                next_collection.add(
-                    Cluster.merge(
-                        host,
-                        [collection.by_center(center) for center in superclusters[host]],
-                    )
-                )
-            collection = next_collection
+            # Batched flat-array sweep: every merged center maps to its scan
+            # host; the still-available clusters retire.
+            center_host = {
+                center: host
+                for host, merged in superclusters.items()
+                for center in merged
+            }
+            table.supercluster(center_host)
+        else:
+            table.retire_all()
 
     guarantee = guarantee_from_schedules(radii, deltas)
     return BaselineResult(

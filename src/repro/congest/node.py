@@ -38,16 +38,26 @@ class NodeContext:
         "_outbox",
         "_max_words",
         "_neighbor_set",
+        "_neighbor_inboxes",
+        "_pending",
         "_dup_possible",
     )
 
     def __init__(self, node_id: int, neighbors: Sequence[int], max_words_per_message: int) -> None:
         self.node_id = node_id
         self.neighbors = tuple(sorted(neighbors))
-        self._neighbor_set = frozenset(self.neighbors)
+        self._neighbor_set: Optional[frozenset] = None
         self.round_index = 0
         self._outbox: List[Tuple[int, Message]] = []
         self._max_words = max_words_per_message
+        # Per-neighbour inbox lists resolved by the simulator at context-build
+        # time (parallel to ``neighbors``); broadcast delivery zips these
+        # instead of indexing the global inbox table per neighbour.
+        self._neighbor_inboxes: Tuple[List[Message], ...] = ()
+        # Shared per-round sender registry (installed by the simulator): a
+        # context appends itself on the round's first queueing, so delivery
+        # drains exactly the nodes that sent instead of scanning all that ran.
+        self._pending: List["NodeContext"] = []
         # Whether this round's outbox might carry two messages over one edge.
         # A single send or a single broadcast cannot (broadcast destinations
         # are distinct by construction), so the congestion audit can skip its
@@ -56,7 +66,10 @@ class NodeContext:
 
     def send(self, neighbor: int, *content: Any) -> None:
         """Queue a message with payload ``content`` to ``neighbor`` for this round."""
-        if neighbor not in self._neighbor_set:
+        neighbor_set = self._neighbor_set
+        if neighbor_set is None:
+            neighbor_set = self._neighbor_set = frozenset(self.neighbors)
+        if neighbor not in neighbor_set:
             raise InvalidDestination(self.node_id, neighbor)
         words = count_words(content)
         if words > self._max_words:
@@ -67,6 +80,8 @@ class NodeContext:
         outbox = self._outbox
         if outbox:
             self._dup_possible = True
+        else:
+            self._pending.append(self)
         outbox.append((neighbor, message))
 
     def broadcast(self, *content: Any) -> None:
@@ -84,7 +99,46 @@ class NodeContext:
         outbox = self._outbox
         if outbox:
             self._dup_possible = True
+        else:
+            self._pending.append(self)
         outbox.append((BROADCAST_DEST, message))
+
+    def broadcast_flat(self, *content: Any) -> None:
+        """Broadcast a payload of plain scalar words (hot-path variant).
+
+        Identical to :meth:`broadcast` for payloads without nested tuples --
+        every protocol in this repository sends flat scalar tuples -- but
+        skips the per-item nesting scan.  Callers passing a nested tuple
+        would under-count its words; don't.
+        """
+        words = len(content)
+        if words > self._max_words:
+            raise MessageTooLarge(words, self._max_words)
+        message = _new_message(Message, (self.node_id, content, words))
+        outbox = self._outbox
+        if outbox:
+            self._dup_possible = True
+        else:
+            self._pending.append(self)
+        outbox.append((BROADCAST_DEST, message))
+
+    def send_flat(self, neighbor: int, *content: Any) -> None:
+        """Send a payload of plain scalar words (hot-path variant of :meth:`send`)."""
+        neighbor_set = self._neighbor_set
+        if neighbor_set is None:
+            neighbor_set = self._neighbor_set = frozenset(self.neighbors)
+        if neighbor not in neighbor_set:
+            raise InvalidDestination(self.node_id, neighbor)
+        words = len(content)
+        if words > self._max_words:
+            raise MessageTooLarge(words, self._max_words)
+        message = _new_message(Message, (self.node_id, content, words))
+        outbox = self._outbox
+        if outbox:
+            self._dup_possible = True
+        else:
+            self._pending.append(self)
+        outbox.append((neighbor, message))
 
     def drain_outbox(self) -> List[Tuple[int, Message]]:
         """Return and clear the queued messages, broadcasts expanded per neighbour."""

@@ -91,8 +91,16 @@ class Simulator:
         # ``_dirty`` marks buffers left non-empty by an aborted run.
         self._contexts: Optional[List[NodeContext]] = None
         self._inboxes: List[List[Message]] = []
+        # Shared per-round sender registry: every context appends itself on
+        # its first queueing of a round (see NodeContext), so delivery drains
+        # exactly the senders, in run order (= ascending node id).
+        self._pending: List[NodeContext] = []
         self._contexts_version = -1
         self._dirty = False
+        # Bound-method cache keyed on the programs list identity: protocols
+        # that re-run the same program objects (the exploration phases) skip
+        # rebinding n callbacks per run.
+        self._program_bindings: Optional[Tuple[object, list, list]] = None
 
     def _node_contexts(self) -> List[NodeContext]:
         """Shared per-vertex contexts built from the graph's CSR snapshot."""
@@ -100,12 +108,26 @@ class Simulator:
             csr = self.graph.csr()
             rows = csr.rows()
             max_words = self.max_words_per_message
-            self._contexts = [
+            contexts = [
                 NodeContext(v, rows[v], max_words) for v in range(self.graph.num_vertices)
             ]
-            self._inboxes = [[] for _ in range(self.graph.num_vertices)]
+            inboxes = [[] for _ in range(self.graph.num_vertices)]
+            # Pre-resolve each node's neighbour inboxes (parallel to its
+            # neighbour tuple) so broadcast delivery zips instead of indexing
+            # the global inbox table, and install the shared sender registry.
+            pending: List[NodeContext] = []
+            for ctx in contexts:
+                ctx._neighbor_inboxes = tuple(inboxes[nb] for nb in ctx.neighbors)
+                ctx._pending = pending
+            self._contexts = contexts
+            self._inboxes = inboxes
+            self._pending = pending
             self._contexts_version = self.graph.version
         return self._contexts
+
+    def release_program_bindings(self) -> None:
+        """Drop the bound-method cache seeded by ``reuse_bindings=True``."""
+        self._program_bindings = None
 
     # ------------------------------------------------------------------
     # Protocol execution
@@ -116,12 +138,47 @@ class Simulator:
         max_rounds: int = 10_000_000,
         label: str = "protocol",
         nominal_rounds: Optional[int] = None,
+        initially_awake: Optional[Iterable[int]] = None,
+        collect_results: bool = True,
+        message_driven: bool = False,
+        starters: Optional[Sequence[int]] = None,
+        reuse_bindings: bool = False,
     ) -> ProtocolRun:
         """Run ``programs`` (one per vertex) to quiescence.
 
         ``nominal_rounds`` is the scheduled round count the caller wants
         charged to the ledger; when omitted, the executed round count is
         charged.
+
+        ``starters`` is a wall-clock hint: the ascending list of nodes whose
+        ``on_start`` does anything at all (sends or state changes).  Round 0
+        then only invokes those programs and only drains their outboxes;
+        every other program's ``on_start`` must be a no-op, which the caller
+        guarantees.  Protocol outcomes are identical either way.
+
+        ``initially_awake`` is a wall-clock hint: a superset of the nodes
+        whose ``is_idle()`` could return false right after ``on_start``.  The
+        scheduler polls only those programs instead of all ``n`` (protocols
+        with a handful of initiators pay O(#initiators), not O(n)).  Passing
+        a set that misses a non-idle node would silently starve it, so only
+        callers that know their programs' idle structure pass it.  Protocol
+        outcomes are identical either way.
+
+        ``message_driven=True`` declares that every program's ``is_idle()``
+        is constantly true (all progress happens in reaction to received
+        messages, as in the BFS-forest and forest-markup protocols); the
+        scheduler then skips idle tracking altogether.
+
+        ``collect_results=False`` skips the per-node ``result()`` sweep
+        (``ProtocolRun.results`` is empty) for protocols whose programs
+        report through shared driver-side state.
+
+        ``reuse_bindings=True`` caches the per-program bound callbacks keyed
+        on the programs list identity, so a driver that re-runs the same
+        program objects (the exploration phases) skips rebinding ``n``
+        methods per run.  The caller must drop the cache with
+        :meth:`release_program_bindings` when done, otherwise the simulator
+        pins the programs (and everything they reference) alive.
         """
         n = self.graph.num_vertices
         if len(programs) != n:
@@ -137,11 +194,22 @@ class Simulator:
                 ctx._outbox.clear()
                 ctx._dup_possible = False
                 inboxes[v].clear()
+            self._pending.clear()
             self._dirty = False
 
         try:
             return self._run_protocol(
-                programs, contexts, inboxes, max_rounds, label, nominal_rounds
+                programs,
+                contexts,
+                inboxes,
+                max_rounds,
+                label,
+                nominal_rounds,
+                initially_awake,
+                collect_results,
+                message_driven,
+                starters,
+                reuse_bindings,
             )
         except BaseException:
             self._dirty = True
@@ -155,12 +223,19 @@ class Simulator:
         max_rounds: int,
         label: str,
         nominal_rounds: Optional[int],
+        initially_awake: Optional[Iterable[int]] = None,
+        collect_results: bool = True,
+        message_driven: bool = False,
+        starters: Optional[Sequence[int]] = None,
+        reuse_bindings: bool = False,
     ) -> ProtocolRun:
         """Execute the scheduler loop (buffers are clean on entry and exit)."""
         n = len(contexts)
 
-        # Round 0: on_start may queue messages.
-        for v in range(n):
+        # Round 0: on_start may queue messages.  ``starters`` narrows the
+        # sweep to the programs whose on_start actually does something.
+        round0 = range(n) if starters is None else starters
+        for v in round0:
             ctx = contexts[v]
             ctx.round_index = 0
             programs[v].on_start(ctx)
@@ -174,18 +249,36 @@ class Simulator:
 
         # Pre-bound per-node callbacks: the round loop below calls these up to
         # once per node per round, so avoid rebinding methods every time.
-        on_round_of = [p.on_round for p in programs]
-        is_idle_of = [p.is_idle for p in programs]
+        # With ``reuse_bindings`` the bindings are cached on the programs
+        # list identity, so drivers that re-run the same program objects (the
+        # exploration phases) skip the rebind; they release the cache when
+        # done so the simulator never pins a finished protocol's programs.
+        cache = self._program_bindings
+        if cache is not None and cache[0] is programs:
+            on_round_of, is_idle_of = cache[1], cache[2]
+        else:
+            on_round_of = [p.on_round for p in programs]
+            is_idle_of = [p.is_idle for p in programs]
+            if reuse_bindings:
+                self._program_bindings = (programs, on_round_of, is_idle_of)
+        track_idle = not message_driven
 
         # The scheduler keeps an explicit active set instead of scanning all n
         # programs every round: ``awake`` tracks exactly the nodes whose
         # ``is_idle()`` returned false the last time they ran (idleness only
         # changes when a node runs), and ``receivers`` the nodes with mail.
-        awake = {v for v in range(n) if not is_idle_of[v]()}
+        # ``initially_awake`` narrows the start-of-protocol idle poll to the
+        # caller-declared candidates; ``message_driven`` protocols skip idle
+        # tracking entirely.
+        if track_idle:
+            candidates = range(n) if initially_awake is None else initially_awake
+            awake = {v for v in candidates if not is_idle_of[v]()}
+        else:
+            awake = set()
 
-        # Collect round-0 sends (any node may have queued in on_start).
+        # Collect round-0 sends (senders registered themselves in on_start).
         receivers, in_flight, in_flight_words, max_congestion, violations = self._deliver(
-            contexts, 0, inboxes, range(n)
+            0, inboxes
         )
 
         round_index = 0
@@ -204,7 +297,9 @@ class Simulator:
                 active.update(awake)
                 ran = sorted(active)
             else:
-                ran = sorted(receivers)
+                # _deliver hands back a fresh list each round; sort in place.
+                receivers.sort()
+                ran = receivers
             for v in ran:
                 ctx = contexts[v]
                 ctx.round_index = round_index
@@ -212,14 +307,15 @@ class Simulator:
                 on_round_of[v](ctx, inbox)
                 if inbox:
                     inbox.clear()
-                if is_idle_of[v]():
-                    awake.discard(v)
-                else:
-                    awake.add(v)
+                if track_idle:
+                    if is_idle_of[v]():
+                        awake.discard(v)
+                    else:
+                        awake.add(v)
 
-            # Only nodes that ran this round can have queued messages.
+            # Only nodes that queued this round are in the sender registry.
             receivers, in_flight, in_flight_words, round_congestion, round_violations = (
-                self._deliver(contexts, round_index, inboxes, ran)
+                self._deliver(round_index, inboxes)
             )
             if round_congestion > max_congestion:
                 max_congestion = round_congestion
@@ -231,7 +327,7 @@ class Simulator:
             messages_delivered=messages_delivered,
             words_delivered=words_delivered,
             max_edge_congestion=max_congestion,
-            results=[p.result() for p in programs],
+            results=[p.result() for p in programs] if collect_results else [],
             congestion_violations=violations,
         )
         self.ledger.charge(
@@ -249,22 +345,21 @@ class Simulator:
     # ------------------------------------------------------------------
     def _deliver(
         self,
-        contexts: List[NodeContext],
         round_index: int,
         inboxes: List[List[Message]],
-        senders: Iterable[int],
     ) -> Tuple[List[int], int, int, int, List[Tuple[int, int, int, int]]]:
-        """Drain the ``senders``' outboxes into the reusable inbox lists.
+        """Drain the registered senders' outboxes into the reusable inboxes.
 
         Returns ``(receivers, messages, words, max_congestion, violations)``:
         the nodes whose inbox is now non-empty (in delivery order), the
         message and word totals now in flight, the round's max per-edge
-        congestion, and any recorded violations.  ``senders`` must cover
-        every node that ran this round -- only those can have queued
-        messages -- and be in ascending order so the audit trail stays
-        deterministic.  A directed edge ``(sender, receiver)`` only ever
-        carries messages from ``sender``'s outbox, so the bandwidth audit
-        runs per-sender without a global per-edge table.
+        congestion, and any recorded violations.  Senders registered
+        themselves in the shared ``_pending`` list on their first queueing of
+        the round; programs run in ascending node order, so the registry is
+        ascending and the audit trail stays deterministic.  A directed edge
+        ``(sender, receiver)`` only ever carries messages from ``sender``'s
+        outbox, so the bandwidth audit runs per-sender without a global
+        per-edge table.
         """
         receivers: List[int] = []
         add_receiver = receivers.append
@@ -273,22 +368,24 @@ class Simulator:
         messages = 0
         words = 0
         bandwidth = self.bandwidth_messages
-        for sender in senders:
-            ctx = contexts[sender]
+        pending = self._pending
+        for ctx in pending:
             outbox = ctx._outbox
             if not outbox:
+                # A registered sender's outbox can only be empty if something
+                # outside the scheduler drained it (e.g. drain_outbox in a
+                # unit test); tolerate it rather than crash on outbox[0].
                 continue
             if not ctx._dup_possible:
                 # Single send or single broadcast: destinations are distinct,
                 # so per-edge congestion is exactly 1 and no audit is needed.
                 neighbor, message = outbox[0]
                 if neighbor == BROADCAST_DEST:
-                    targets = ctx.neighbors
+                    targets = ctx._neighbor_inboxes
                     if targets:
                         messages += len(targets)
                         words += message.words * len(targets)
-                        for nb in targets:
-                            inbox = inboxes[nb]
+                        for nb, inbox in zip(ctx.neighbors, targets):
                             if not inbox:
                                 add_receiver(nb)
                             inbox.append(message)
@@ -312,10 +409,9 @@ class Simulator:
                 for neighbor, message in outbox:
                     if neighbor == BROADCAST_DEST:
                         message_words = message.words
-                        for nb in ctx.neighbors:
+                        for nb, inbox in zip(ctx.neighbors, ctx._neighbor_inboxes):
                             messages += 1
                             words += message_words
-                            inbox = inboxes[nb]
                             if not inbox:
                                 add_receiver(nb)
                             inbox.append(message)
@@ -338,4 +434,5 @@ class Simulator:
                             )
                         violations.append((round_index, ctx.node_id, neighbor, count))
             outbox.clear()
+        pending.clear()
         return receivers, messages, words, max_congestion, violations

@@ -6,10 +6,20 @@ from .certificate import (
     EdgeProvenance,
     SpannerCertificate,
 )
+from .cluster_table import (
+    ClusterHandle,
+    ClusterTable,
+    FlatClusters,
+    flat_collections_partition_vertices,
+)
 from .clusters import Cluster, ClusterCollection, collections_partition_vertices
 from .centralized import build_spanner_centralized
 from .distributed import build_spanner_distributed
-from .interconnection import count_interconnection_paths, interconnection_requests
+from .interconnection import (
+    count_interconnection_paths,
+    flatten_requests,
+    interconnection_requests,
+)
 from .oracle import SpannerDistanceOracle
 from .parameters import (
     CONCLUDING_STAGE,
@@ -39,6 +49,11 @@ __all__ = [
     "CONCLUDING_STAGE",
     "Cluster",
     "ClusterCollection",
+    "ClusterHandle",
+    "ClusterTable",
+    "FlatClusters",
+    "flat_collections_partition_vertices",
+    "flatten_requests",
     "DEFAULT_PARAMETERS",
     "ENGINE_CENTRALIZED",
     "ENGINE_DISTRIBUTED",

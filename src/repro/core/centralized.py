@@ -8,6 +8,12 @@ It is therefore fast enough to run on graphs with thousands of vertices and is
 used for cross-validating the distributed engine, for property-based testing
 and for the larger benchmark sweeps.
 
+Cluster bookkeeping runs on the flat-array
+:class:`~repro.core.cluster_table.ClusterTable`: membership is a dense
+``cluster_of`` array, the superclustering step is one batched merge/retire
+sweep, and the per-phase history snapshots are frozen
+:class:`~repro.core.cluster_table.FlatClusters` views.
+
 The nominal CONGEST round counts recorded in the phase records are computed
 from the same formulas the distributed engine charges to its ledger, so both
 engines report comparable round figures.
@@ -15,22 +21,22 @@ engines report comparable round figures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set
 
 from ..graphs.graph import Graph
 from ..primitives.exploration import centralized_engine_exploration
 from ..primitives.ruling_set import centralized_ruling_set
 from ..primitives.traceback import centralized_traceback_flat
 from .certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
-from .clusters import ClusterCollection
+from .cluster_table import ClusterTable, FlatClusters
 from .interconnection import (
     count_interconnection_paths,
+    flatten_requests,
     interconnection_requests_from_near,
 )
 from .parameters import SpannerParameters
 from .result import PhaseRecord, SpannerResult
 from .superclustering import (
-    build_superclusters,
     deterministic_forest,
     forest_path_edges,
     spanned_center_roots,
@@ -42,9 +48,9 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
     n = graph.num_vertices
     spanner = Graph(n)
     certificate = SpannerCertificate()
-    collection = ClusterCollection.singletons(n)
-    cluster_history: List[ClusterCollection] = [collection]
-    unclustered_history: List[ClusterCollection] = []
+    table = ClusterTable.singletons(n)
+    cluster_history: List[FlatClusters] = [table.snapshot()]
+    unclustered_history: List[FlatClusters] = []
     phase_records: List[PhaseRecord] = []
     radius_bounds = parameters.radius_bounds()
     c = parameters.domination_multiplier
@@ -52,7 +58,7 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
     for i in parameters.phases():
         delta = parameters.delta(i)
         degree = parameters.degree_threshold(i, n)
-        centers = collection.centers()
+        centers = table.centers()
         nominal_rounds = 0
 
         exploration = centralized_engine_exploration(graph, centers, delta, degree)
@@ -62,6 +68,7 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
         ruling_set: Set[int] = set()
         spanned_centers: List[int] = []
         superclustering_edges = 0
+        forest_edge_count = 0
         if i < parameters.ell:
             if popular:
                 rs_result = centralized_ruling_set(
@@ -75,19 +82,18 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
                 center_root = spanned_center_roots(centers, root)
                 spanned_centers = sorted(center_root)
                 forest_edges = forest_path_edges(parent, spanned_centers)
+                forest_edge_count = len(forest_edges)
                 superclustering_edges = certificate.record(
                     forest_edges, i, SUPERCLUSTERING_STEP
                 )
                 spanner.add_edges(forest_edges)
-                next_collection, unclustered = build_superclusters(collection, center_root)
+                unclustered = table.supercluster(center_root)
             else:
-                next_collection = ClusterCollection()
-                unclustered = collection
+                unclustered = table.retire_all()
             nominal_rounds += 2 * parameters.superclustering_depth(i)
         else:
             # Concluding phase: the superclustering step is skipped entirely.
-            next_collection = ClusterCollection()
-            unclustered = collection
+            unclustered = table.retire_all()
 
         requests = interconnection_requests_from_near(
             unclustered.centers(), exploration.near_centers
@@ -105,7 +111,7 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
                 stage=parameters.stage(i),
                 delta=delta,
                 degree_threshold=degree,
-                num_clusters=len(collection),
+                num_clusters=len(centers),
                 num_popular=len(popular),
                 ruling_set_size=len(ruling_set),
                 num_superclustered=len(spanned_centers),
@@ -116,20 +122,18 @@ def build_spanner_centralized(graph: Graph, parameters: SpannerParameters) -> Sp
                 radius_bound=radius_bounds[i],
                 nominal_rounds=nominal_rounds,
                 simulated_rounds=0,
+                clusters_out=table.num_active,
+                cluster_merges=len(spanned_centers),
+                forest_edges=forest_edge_count,
                 popular_centers=sorted(popular),
                 ruling_set=sorted(ruling_set),
                 superclustered_centers=list(spanned_centers),
-                interconnection_pairs=[
-                    (center, target)
-                    for center, targets in sorted(requests.items())
-                    for target in targets
-                ],
+                interconnection_pairs=flatten_requests(requests),
             )
         )
         unclustered_history.append(unclustered)
         if i < parameters.ell:
-            cluster_history.append(next_collection)
-            collection = next_collection
+            cluster_history.append(table.snapshot())
 
     return SpannerResult(
         graph=graph,

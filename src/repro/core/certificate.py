@@ -26,9 +26,16 @@ class EdgeProvenance:
 
 @dataclass
 class SpannerCertificate:
-    """Records, for every spanner edge, the first (phase, step) that added it."""
+    """Records, for every spanner edge, the first (phase, step) that added it.
+
+    Besides the per-edge provenance map, the certificate maintains the
+    ``(phase, step) -> new-edge`` counts incrementally, so the per-phase and
+    per-step summaries consumed by every serialized run are O(#batches)
+    lookups instead of a full pass over the provenance map.
+    """
 
     provenance: Dict[Tuple[int, int], EdgeProvenance] = field(default_factory=dict)
+    _counts: Dict[Tuple[int, str], int] = field(default_factory=dict)
 
     def record(self, edges: Iterable[Tuple[int, int]], phase: int, step: str) -> int:
         """Record ``edges`` as added by ``(phase, step)``; returns how many were new."""
@@ -44,6 +51,9 @@ class SpannerCertificate:
             if key not in provenance:
                 provenance[key] = origin
                 new_edges += 1
+        if new_edges:
+            counts_key = (phase, step)
+            self._counts[counts_key] = self._counts.get(counts_key, 0) + new_edges
         return new_edges
 
     def __len__(self) -> int:
@@ -69,17 +79,13 @@ class SpannerCertificate:
         )
 
     def count_by_phase_and_step(self) -> Dict[Tuple[int, str], int]:
-        """``{(phase, step): number of edges first added there}``."""
-        counts: Dict[Tuple[int, str], int] = {}
-        for origin in self.provenance.values():
-            key = (origin.phase, origin.step)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        """``{(phase, step): number of edges first added there}`` (O(#batches))."""
+        return dict(self._counts)
 
     def summary(self) -> Dict[str, int]:
-        """Totals per step, plus the overall edge count."""
+        """Totals per step, plus the overall edge count (O(#batches))."""
         by_step: Dict[str, int] = {SUPERCLUSTERING_STEP: 0, INTERCONNECTION_STEP: 0}
-        for origin in self.provenance.values():
-            by_step[origin.step] = by_step.get(origin.step, 0) + 1
+        for (_phase, step), count in self._counts.items():
+            by_step[step] = by_step.get(step, 0) + count
         by_step["total"] = len(self.provenance)
         return by_step

@@ -1,4 +1,4 @@
-"""Cluster and cluster-collection data structures.
+"""Legacy cluster / cluster-collection objects (API boundary only).
 
 A *cluster* is a set of vertices centered around a designated center vertex
 (paper, Section 2.1).  A *cluster collection* ``P_i`` is the input of phase
@@ -6,6 +6,16 @@ A *cluster* is a set of vertices centered around a designated center vertex
 superclustering step of phase ``i`` produces ``P_{i+1}``.  The clusters of
 ``P_i`` that are *not* superclustered form ``U_i``; the paper proves
 (Corollary 2.5) that ``U_0, ..., U_ell`` together partition ``V``.
+
+.. note::
+   The build hot path no longer runs on these ``frozenset``-backed objects:
+   both engines and all baselines carry a flat-array
+   :class:`~repro.core.cluster_table.ClusterTable` and record
+   :class:`~repro.core.cluster_table.FlatClusters` snapshots in their
+   histories.  This module remains as the readable reference implementation
+   -- the randomized cross-check in ``tests/core/test_cluster_table.py``
+   validates the flat structures against it -- and as a convenience API for
+   constructing small collections by hand.
 """
 
 from __future__ import annotations

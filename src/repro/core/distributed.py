@@ -9,15 +9,17 @@ which parameters) requires no communication: it is a fixed schedule computable
 from ``n`` and the parameters, which every vertex knows.
 
 Cluster membership bookkeeping (which vertices belong to which supercluster)
-is carried driver-side: the algorithm itself never needs a non-center vertex
-to know its cluster -- only centers act in every step -- so maintaining the
-membership tables centrally does not hide any communication (see DESIGN.md,
-substitution 1).
+is carried driver-side in a flat-array
+:class:`~repro.core.cluster_table.ClusterTable`: the algorithm itself never
+needs a non-center vertex to know its cluster -- only centers act in every
+step, and every protocol message carries compact cluster (center) ids, never
+vertex sets -- so maintaining the membership table centrally does not hide
+any communication (see DESIGN.md, substitution 1).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from ..congest.simulator import Simulator
 from ..graphs.graph import Graph
@@ -26,11 +28,15 @@ from ..primitives.exploration import run_bounded_exploration
 from ..primitives.ruling_set import run_ruling_set
 from ..primitives.traceback import run_forest_path_markup, run_traceback
 from .certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
-from .clusters import ClusterCollection
-from .interconnection import count_interconnection_paths, interconnection_requests
+from .cluster_table import ClusterTable, FlatClusters
+from .interconnection import (
+    count_interconnection_paths,
+    flatten_requests,
+    interconnection_requests,
+)
 from .parameters import SpannerParameters
 from .result import PhaseRecord, SpannerResult
-from .superclustering import build_superclusters, spanned_center_roots
+from .superclustering import spanned_center_roots
 
 
 def build_spanner_distributed(
@@ -52,9 +58,9 @@ def build_spanner_distributed(
     n = graph.num_vertices
     spanner = Graph(n)
     certificate = SpannerCertificate()
-    collection = ClusterCollection.singletons(n)
-    cluster_history: List[ClusterCollection] = [collection]
-    unclustered_history: List[ClusterCollection] = []
+    table = ClusterTable.singletons(n)
+    cluster_history: List[FlatClusters] = [table.snapshot()]
+    unclustered_history: List[FlatClusters] = []
     phase_records: List[PhaseRecord] = []
     radius_bounds = parameters.radius_bounds()
     c = parameters.domination_multiplier
@@ -62,7 +68,7 @@ def build_spanner_distributed(
     for i in parameters.phases():
         delta = parameters.delta(i)
         degree = parameters.degree_threshold(i, n)
-        centers = collection.centers()
+        centers = table.centers()
         ledger_nominal_before = simulator.ledger.nominal_rounds
         ledger_simulated_before = simulator.ledger.simulated_rounds
 
@@ -74,6 +80,7 @@ def build_spanner_distributed(
         ruling_set: Set[int] = set()
         spanned_centers: List[int] = []
         superclustering_edges = 0
+        forest_edge_count = 0
         if i < parameters.ell:
             if popular:
                 rs_result = run_ruling_set(
@@ -89,23 +96,23 @@ def build_spanner_distributed(
                     ruling_set,
                     depth=parameters.superclustering_depth(i),
                     label=f"phase{i}:forest",
+                    collect_node_results=False,
                 )
                 center_root = spanned_center_roots(centers, forest.root)
                 spanned_centers = sorted(center_root)
                 markup = run_forest_path_markup(
                     simulator, forest, spanned_centers, label=f"phase{i}:markup"
                 )
+                forest_edge_count = len(markup.edges)
                 superclustering_edges = certificate.record(
                     markup.edges, i, SUPERCLUSTERING_STEP
                 )
                 spanner.add_edges(markup.edges)
-                next_collection, unclustered = build_superclusters(collection, center_root)
+                unclustered = table.supercluster(center_root)
             else:
-                next_collection = ClusterCollection()
-                unclustered = collection
+                unclustered = table.retire_all()
         else:
-            next_collection = ClusterCollection()
-            unclustered = collection
+            unclustered = table.retire_all()
 
         requests = interconnection_requests(unclustered.centers(), exploration)
         traceback = run_traceback(
@@ -126,7 +133,7 @@ def build_spanner_distributed(
                 stage=parameters.stage(i),
                 delta=delta,
                 degree_threshold=degree,
-                num_clusters=len(collection),
+                num_clusters=len(centers),
                 num_popular=len(popular),
                 ruling_set_size=len(ruling_set),
                 num_superclustered=len(spanned_centers),
@@ -137,20 +144,18 @@ def build_spanner_distributed(
                 radius_bound=radius_bounds[i],
                 nominal_rounds=simulator.ledger.nominal_rounds - ledger_nominal_before,
                 simulated_rounds=simulator.ledger.simulated_rounds - ledger_simulated_before,
+                clusters_out=table.num_active,
+                cluster_merges=len(spanned_centers),
+                forest_edges=forest_edge_count,
                 popular_centers=sorted(popular),
                 ruling_set=sorted(ruling_set),
                 superclustered_centers=list(spanned_centers),
-                interconnection_pairs=[
-                    (center, target)
-                    for center, targets in sorted(requests.items())
-                    for target in targets
-                ],
+                interconnection_pairs=flatten_requests(requests),
             )
         )
         unclustered_history.append(unclustered)
         if i < parameters.ell:
-            cluster_history.append(next_collection)
-            collection = next_collection
+            cluster_history.append(table.snapshot())
 
     return SpannerResult(
         graph=graph,

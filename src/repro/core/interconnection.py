@@ -26,9 +26,11 @@ def interconnection_requests(
     this is exactly the set of centers within ``delta_i``.
     """
     requests: Dict[int, List[int]] = {}
+    known_dist = exploration.known_dist
     for center in unclustered_centers:
-        targets = [c for c in exploration.known[center] if c != center]
-        requests[center] = sorted(targets)
+        targets = [c for c in known_dist[center] if c != center]
+        targets.sort()
+        requests[center] = targets
     return requests
 
 
@@ -50,3 +52,17 @@ def interconnection_requests_from_near(
 def count_interconnection_paths(requests: Dict[int, List[int]]) -> int:
     """Total number of center-to-center paths the step will add."""
     return sum(len(targets) for targets in requests.values())
+
+
+def flatten_requests(requests: Dict[int, List[int]]) -> List[tuple]:
+    """The request map as a flat, deterministically ordered pair list.
+
+    This is the ``interconnection_pairs`` representation stored in the phase
+    records: sorted by initiating center, then by target (the target lists
+    are already sorted by construction).
+    """
+    return [
+        (center, target)
+        for center in sorted(requests)
+        for target in requests[center]
+    ]

@@ -2,7 +2,8 @@
 
 A :class:`SpannerResult` bundles the spanner itself with everything the
 analysis and the benchmark harness need: per-phase statistics, the cluster
-collection history (``P_0 .. P_ell`` and ``U_0 .. U_ell``), the edge
+history (``P_0 .. P_ell`` and ``U_0 .. U_ell`` as frozen array-backed
+:class:`~repro.core.cluster_table.FlatClusters` snapshots), the edge
 provenance certificate and -- for the distributed engine -- the round ledger.
 """
 
@@ -14,7 +15,8 @@ from typing import Dict, List, Optional
 from ..congest.ledger import RoundLedger
 from ..graphs.graph import Graph
 from .certificate import SpannerCertificate
-from .clusters import ClusterCollection, collections_partition_vertices
+from .cluster_table import FlatClusters, flat_collections_partition_vertices
+from .clusters import collections_partition_vertices
 from .parameters import SpannerParameters
 
 
@@ -43,6 +45,15 @@ class PhaseRecord:
     radius_bound: int
     nominal_rounds: int = 0
     simulated_rounds: int = 0
+    #: Clusters the phase handed to the next one (``|P_{i+1}|``; 0 when the
+    #: superclustering step is skipped or concluding).
+    clusters_out: int = 0
+    #: Constituent clusters absorbed into superclusters this phase (the number
+    #: of spanned centers, i.e. the merge batch size).
+    cluster_merges: int = 0
+    #: Forest-path edges produced by the superclustering step (pre-dedup
+    #: against the spanner; ``superclustering_edges`` counts only new ones).
+    forest_edges: int = 0
     popular_centers: List[int] = field(default_factory=list)
     ruling_set: List[int] = field(default_factory=list)
     superclustered_centers: List[int] = field(default_factory=list)
@@ -66,6 +77,9 @@ class PhaseRecord:
             "radius_bound": self.radius_bound,
             "nominal_rounds": self.nominal_rounds,
             "simulated_rounds": self.simulated_rounds,
+            "clusters_out": self.clusters_out,
+            "cluster_merges": self.cluster_merges,
+            "forest_edges": self.forest_edges,
         }
 
 
@@ -78,8 +92,8 @@ class SpannerResult:
     parameters: SpannerParameters
     engine: str
     phase_records: List[PhaseRecord] = field(default_factory=list)
-    cluster_history: List[ClusterCollection] = field(default_factory=list)
-    unclustered_history: List[ClusterCollection] = field(default_factory=list)
+    cluster_history: List[FlatClusters] = field(default_factory=list)
+    unclustered_history: List[FlatClusters] = field(default_factory=list)
     certificate: SpannerCertificate = field(default_factory=SpannerCertificate)
     ledger: Optional[RoundLedger] = None
 
@@ -110,19 +124,27 @@ class SpannerResult:
                 return record
         raise KeyError(f"no phase record with index {index}")
 
-    def clusters_at_phase(self, index: int) -> ClusterCollection:
+    def clusters_at_phase(self, index: int) -> FlatClusters:
         """The collection ``P_index`` handed to phase ``index``."""
         return self.cluster_history[index]
 
-    def unclustered_at_phase(self, index: int) -> ClusterCollection:
+    def unclustered_at_phase(self, index: int) -> FlatClusters:
         """The collection ``U_index`` left unclustered by phase ``index``."""
         return self.unclustered_history[index]
 
     def unclustered_partitions_vertices(self) -> bool:
-        """Check Corollary 2.5 on this run: ``U_0, ..., U_ell`` partition ``V``."""
-        return collections_partition_vertices(
-            self.unclustered_history, self.graph.num_vertices
-        )
+        """Check Corollary 2.5 on this run: ``U_0, ..., U_ell`` partition ``V``.
+
+        Engine runs carry flat snapshots, verified in one pass over their
+        membership arrays; legacy ``ClusterCollection`` histories fall back to
+        the frozenset-based check.
+        """
+        history = self.unclustered_history
+        if all(isinstance(collection, FlatClusters) for collection in history):
+            return flat_collections_partition_vertices(
+                history, self.graph.num_vertices
+            )
+        return collections_partition_vertices(history, self.graph.num_vertices)
 
     def edges_by_step(self) -> Dict[str, int]:
         """Edge counts by construction step (from the certificate)."""

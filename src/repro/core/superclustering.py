@@ -9,10 +9,16 @@ The superclustering step of phase ``i``:
    supercluster of its tree's root, and the forest path from the root to that
    center is added to the spanner.
 
-This module provides the cluster bookkeeping shared by the centralized and
-distributed engines, plus a centralized forest construction that uses exactly
-the same deterministic tie-breaking as the distributed protocol so both
-engines agree on the forest.
+This module provides the forest-side helpers shared by the centralized and
+distributed engines -- a centralized forest construction that uses exactly
+the same deterministic tie-breaking as the distributed protocol (so both
+engines agree on the forest), the root-assignment restriction and the
+forest-path edge collection.  The cluster merge/retire bookkeeping itself is
+a single batched sweep on the flat-array
+:class:`~repro.core.cluster_table.ClusterTable`
+(:meth:`~repro.core.cluster_table.ClusterTable.supercluster`);
+:func:`build_superclusters` below is the legacy frozenset-based reference of
+that step, kept for tests and API-boundary use.
 """
 
 from __future__ import annotations
@@ -20,8 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..graphs.bfs import _flat_bfs_distances
-from ..graphs.graph import Graph, normalize_edge
+from ..graphs.graph import Graph
 from .clusters import Cluster, ClusterCollection
 
 
@@ -48,7 +53,6 @@ def deterministic_forest(
     """
     n = graph.num_vertices
     source_list = sorted(set(sources))
-    reach_dist, reach_order = _flat_bfs_distances(graph, source_list, max_depth=depth)
     root: List[Optional[int]] = [None] * n
     dist: List[Optional[int]] = [None] * n
     parent: List[Optional[int]] = [None] * n
@@ -57,24 +61,29 @@ def deterministic_forest(
         dist[s] = 0
 
     rows = graph.csr().rows()
-    # ``reach_order`` lists reached vertices level by level, so by the time a
-    # vertex at distance d is processed every distance-(d-1) vertex already
-    # carries its final (root, parent) label.
-    for v in reach_order:
-        d = reach_dist[v]
-        if d == 0:
-            continue
-        target = d - 1
-        best: Optional[Tuple[int, int]] = None
-        for u in rows[v]:
-            if dist[u] == target and root[u] is not None:
-                candidate = (root[u], u)
-                if best is None or candidate < best:
-                    best = candidate
-        if best is None:
-            continue
-        root[v], parent[v] = best
-        dist[v] = d
+    # Single BFS sweep.  A vertex at distance ``d`` must adopt the
+    # lexicographically smallest ``(root[u], u)`` among its
+    # distance-``(d-1)`` neighbours; expanding each level in ascending
+    # ``(root, u)`` order and letting the first toucher win assigns exactly
+    # that minimum -- no per-candidate tuple comparisons, no separate
+    # distance pass.  Level 0 (the sorted sources, root[s] == s) is already
+    # in that order; every later level is sorted before it expands.
+    frontier: List[int] = source_list
+    d = 0
+    while frontier and d < depth:
+        d += 1
+        next_frontier: List[int] = []
+        push = next_frontier.append
+        for u in frontier:
+            ru = root[u]
+            for v in rows[u]:
+                if dist[v] is None:
+                    dist[v] = d
+                    root[v] = ru
+                    parent[v] = u
+                    push(v)
+        next_frontier.sort(key=lambda v: (root[v], v))
+        frontier = next_frontier
     return root, dist, parent
 
 

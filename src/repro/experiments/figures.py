@@ -220,11 +220,18 @@ def figure4_forest_paths(result: SpannerResult) -> ExperimentRecord:
             continue
         depth_bound = result.parameters.superclustering_depth(i)
         next_collection = result.cluster_history[i + 1]
+        # Group the spanned member centers by their supercluster through the
+        # snapshot's O(1) membership array, then pay one bounded BFS per root.
+        centers_by_root: Dict[int, List[int]] = {}
+        for member_center in phase.superclustered_centers:
+            root = next_collection.center_of_vertex(member_center)
+            if root >= 0:
+                centers_by_root.setdefault(root, []).append(member_center)
         max_path = 0
-        for cluster in next_collection:
-            dist = bfs_distances(spanner, cluster.center, max_depth=depth_bound + 1)
-            for member_center in phase.superclustered_centers:
-                if member_center in cluster.vertices and member_center in dist:
+        for root, member_centers in centers_by_root.items():
+            dist = bfs_distances(spanner, root, max_depth=depth_bound + 1)
+            for member_center in member_centers:
+                if member_center in dist:
                     max_path = max(max_path, dist[member_center])
         if max_path > depth_bound:
             lengths_ok = False
@@ -298,20 +305,23 @@ def figure6_cluster_hop(result: SpannerResult) -> ExperimentRecord:
     spanner = result.spanner
     bounds = result.parameters.radius_bounds()
 
-    phase_of: Dict[int, int] = {}
-    center_of: Dict[int, int] = {}
+    # Dense vertex -> (retirement phase, cluster center) labels, one sweep per
+    # snapshot's flat membership arrays (Corollary 2.5: the U_i partition V).
+    n = result.num_vertices
+    phase_of = [-1] * n
+    center_of = [-1] * n
     for i, collection in enumerate(result.unclustered_history):
-        for cluster in collection:
-            for v in cluster.vertices:
-                phase_of[v] = i
-                center_of[v] = cluster.center
+        cluster_of = collection.cluster_of_array()
+        for v in collection.members_array():
+            phase_of[v] = i
+            center_of[v] = collection.center(cluster_of[v])
 
     # Group candidate edges by the higher-phase cluster center so we need one
     # spanner BFS per such center.
     by_high_center: Dict[int, List[Tuple[int, int, int]]] = {}
     for u, v in graph.edges():
-        ju, jv = phase_of.get(u), phase_of.get(v)
-        if ju is None or jv is None or ju == jv:
+        ju, jv = phase_of[u], phase_of[v]
+        if ju < 0 or jv < 0 or ju == jv:
             continue
         low, high = (u, v) if ju < jv else (v, u)
         j, i = min(ju, jv), max(ju, jv)

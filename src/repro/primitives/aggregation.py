@@ -10,7 +10,7 @@ handy for tests of the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, List, Optional
 
 from ..congest.message import Message
 from ..congest.node import NodeContext, NodeProgram
@@ -72,7 +72,11 @@ def run_broadcast(
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range")
     programs = [_FloodProgram(v, v == source, value) for v in range(n)]
-    run = simulator.run_protocol(programs, label=label)
+    # Only the source's on_start sends, and flood programs are never
+    # spontaneously awake, so the scheduler can skip both O(n) polls.
+    run = simulator.run_protocol(
+        programs, label=label, starters=(source,), message_driven=True
+    )
     received = [r[0] for r in run.results]
     return BroadcastResult(
         value=value,
@@ -160,22 +164,34 @@ def run_convergecast(
         raise ValueError("local_values must have one entry per vertex")
     if tree is None:
         tree = run_bfs_forest(simulator, [root], depth=n, label=f"{label}:tree")
+    # Flat per-vertex sweeps over the forest arrays: membership flags, child
+    # counts and the leaf list (the only programs whose on_start sends).
+    tree_root = tree.root
+    tree_parent = tree.parent
     children_count = [0] * n
+    in_tree = bytearray(n)
     for v in range(n):
-        p = tree.parent[v]
-        if p is not None and tree.root[v] == root:
-            children_count[p] += 1
+        if tree_root[v] == root:
+            in_tree[v] = 1
+            p = tree_parent[v]
+            if p is not None:
+                children_count[p] += 1
     programs = [
         _ConvergecastProgram(
             v,
-            tree.parent[v] if tree.root[v] == root else None,
+            tree_parent[v] if in_tree[v] else None,
             children_count[v],
             local_values[v],
             combine,
         )
         for v in range(n)
     ]
-    run = simulator.run_protocol(programs, label=label)
+    leaves = [v for v in range(n) if in_tree[v] and not children_count[v]]
+    # A convergecast node reports within the round that completes its child
+    # set, so no program is ever observed non-idle; only leaves start.
+    run = simulator.run_protocol(
+        programs, label=label, starters=leaves, message_driven=True
+    )
     return ConvergecastResult(
         root=root,
         value=run.results[root],

@@ -72,21 +72,37 @@ class ForestResult:
 
 
 class _ForestProgram(NodeProgram):
-    """Per-vertex program implementing the depth-bounded BFS forest."""
+    """Per-vertex program implementing the depth-bounded BFS forest.
 
-    def __init__(self, node_id: int, is_source: bool, depth: int) -> None:
+    Adopted labels are written through to the driver's shared ``root`` /
+    ``dist`` / ``parent`` lists as they happen, so callers that do not need
+    the per-node result sweep (the ruling-set knock-outs, the engine's
+    supercluster forest) can skip collection entirely.
+    """
+
+    __slots__ = ("node_id", "is_source", "depth", "root", "dist", "parent", "_shared")
+
+    def __init__(
+        self,
+        node_id: int,
+        is_source: bool,
+        depth: int,
+        shared: Tuple[List[Optional[int]], List[Optional[int]], List[Optional[int]]],
+    ) -> None:
         self.node_id = node_id
         self.is_source = is_source
         self.depth = depth
         self.root: Optional[int] = node_id if is_source else None
         self.dist: Optional[int] = 0 if is_source else None
         self.parent: Optional[int] = None
-        self._announced = False
+        self._shared = shared
+        if is_source:
+            shared[0][node_id] = node_id
+            shared[1][node_id] = 0
 
     def on_start(self, ctx: NodeContext) -> None:
         if self.is_source and self.depth > 0:
-            ctx.broadcast(FOREST_TAG, self.node_id, 0)
-            self._announced = True
+            ctx.broadcast_flat(FOREST_TAG, self.node_id, 0)
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
         if self.root is not None:
@@ -104,9 +120,13 @@ class _ForestProgram(NodeProgram):
         if best is None:
             return
         self.dist, self.root, self.parent = best
-        if self.dist < self.depth and not self._announced:
-            ctx.broadcast(FOREST_TAG, self.root, self.dist)
-            self._announced = True
+        node_id = self.node_id
+        shared = self._shared
+        shared[0][node_id] = self.root
+        shared[1][node_id] = self.dist
+        shared[2][node_id] = self.parent
+        if self.dist < self.depth:
+            ctx.broadcast_flat(FOREST_TAG, self.root, self.dist)
 
     def is_idle(self) -> bool:
         return True
@@ -120,12 +140,18 @@ def run_bfs_forest(
     sources: Iterable[int],
     depth: int,
     label: str = "bfs-forest",
+    collect_node_results: bool = True,
 ) -> ForestResult:
     """Grow a depth-bounded BFS forest rooted at ``sources``.
 
     The nominal round cost charged to the simulator's ledger is ``depth``
     (the scheduled exploration depth), matching how the paper accounts for
     this step.
+
+    The forest labels are written through to shared arrays as vertices adopt
+    roots; ``collect_node_results=False`` additionally skips the per-node
+    ``result()`` sweep (``ForestResult.run.results`` is then empty), which
+    callers that only consume ``root``/``dist``/``parent`` use.
     """
     graph = simulator.graph
     n = graph.num_vertices
@@ -136,15 +162,21 @@ def run_bfs_forest(
     if depth < 0:
         raise ValueError("depth must be non-negative")
 
-    programs = [_ForestProgram(v, v in source_set, depth) for v in range(n)]
+    root: List[Optional[int]] = [None] * n
+    dist: List[Optional[int]] = [None] * n
+    parent: List[Optional[int]] = [None] * n
+    shared = (root, dist, parent)
+    programs = [_ForestProgram(v, v in source_set, depth, shared) for v in range(n)]
+    # Forest programs are never spontaneously active (is_idle is constant
+    # True); all progress is message-driven, so the idle poll can be skipped.
     run = simulator.run_protocol(
         programs,
         label=label,
         nominal_rounds=depth,
+        message_driven=True,
+        starters=sorted(source_set),
+        collect_results=collect_node_results,
     )
-    root = [r[0] for r in run.results]
-    dist = [r[1] for r in run.results]
-    parent = [r[2] for r in run.results]
     return ForestResult(
         root=root,
         dist=dist,

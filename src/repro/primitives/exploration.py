@@ -29,7 +29,7 @@ Guarantees verified by the test-suite (Theorem 2.1 / Lemma A.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 from ..congest.message import Message
@@ -54,16 +54,25 @@ class KnownCenter(NamedTuple):
     via: Optional[int]
 
 
-@dataclass
 class ExplorationResult:
     """Outcome of Algorithm 1.
 
+    The knowledge is carried in two flat per-vertex int dictionaries --
+    ``known_dist[v]`` maps center -> recorded distance and ``known_via[v]``
+    maps center -> the neighbour that delivered the information (``None`` for
+    the center itself).  Storing plain ints keeps the learn event of the
+    exploration protocol allocation-free, which dominates the whole build's
+    message volume.
+
+    ``known`` materializes the legacy ``center ->``
+    :class:`KnownCenter` maps lazily for callers that want the combined
+    records (tests, notebooks); the hot paths read the int dicts directly.
+
     Attributes
     ----------
-    known:
-        ``known[v]`` maps center -> :class:`KnownCenter` for every center the
-        vertex ``v`` learned about (vertices that are centers know themselves
-        at distance 0).
+    known_dist / known_via:
+        Flat per-vertex knowledge (vertices that are centers know themselves
+        at distance 0 with via ``None``).
     popular:
         The set ``W_i`` of popular centers.
     centers:
@@ -74,37 +83,78 @@ class ExplorationResult:
         ``1 + cap * depth`` -- the scheduled number of rounds.
     """
 
-    known: List[Dict[int, KnownCenter]]
-    popular: Set[int]
-    centers: List[int]
-    depth: int
-    cap: int
-    nominal_rounds: int
-    simulated_rounds: int = 0
-    messages: int = 0
+    __slots__ = (
+        "known_dist",
+        "known_via",
+        "popular",
+        "centers",
+        "depth",
+        "cap",
+        "nominal_rounds",
+        "simulated_rounds",
+        "messages",
+        "_known",
+    )
+
+    def __init__(
+        self,
+        known_dist: List[Dict[int, int]],
+        known_via: List[Dict[int, Optional[int]]],
+        popular: Set[int],
+        centers: List[int],
+        depth: int,
+        cap: int,
+        nominal_rounds: int,
+        simulated_rounds: int = 0,
+        messages: int = 0,
+    ) -> None:
+        self.known_dist = known_dist
+        self.known_via = known_via
+        self.popular = popular
+        self.centers = centers
+        self.depth = depth
+        self.cap = cap
+        self.nominal_rounds = nominal_rounds
+        self.simulated_rounds = simulated_rounds
+        self.messages = messages
+        self._known: Optional[List[Dict[int, KnownCenter]]] = None
+
+    @property
+    def known(self) -> List[Dict[int, KnownCenter]]:
+        """``known[v]``: center -> :class:`KnownCenter` (lazy combined view)."""
+        if self._known is None:
+            known_via = self.known_via
+            self._known = [
+                {
+                    center: _new_entry(KnownCenter, (distance, via_v[center]))
+                    for center, distance in dist_v.items()
+                }
+                for dist_v, via_v in zip(self.known_dist, known_via)
+            ]
+        return self._known
 
     def known_centers(self, v: int) -> List[int]:
         """Centers known to ``v``, sorted."""
-        return sorted(self.known[v].keys())
+        return sorted(self.known_dist[v].keys())
 
     def distance_to(self, v: int, center: int) -> Optional[int]:
         """Recorded distance from ``v`` to ``center`` (``None`` if unknown)."""
-        entry = self.known[v].get(center)
-        return entry.distance if entry is not None else None
+        return self.known_dist[v].get(center)
 
     def trace_path(self, v: int, center: int) -> List[int]:
         """Follow via-pointers from ``v`` to ``center``; returns the vertex path."""
-        if center not in self.known[v]:
+        if center not in self.known_dist[v]:
             raise ValueError(f"vertex {v} does not know center {center}")
         path = [v]
         current = v
+        known_via = self.known_via
         while current != center:
-            entry = self.known[current][center]
-            if entry.via is None:
+            via = known_via[current].get(center)
+            if via is None:
                 raise ValueError(
                     f"broken via chain while tracing from {v} to {center} at {current}"
                 )
-            current = entry.via
+            current = via
             path.append(current)
         return path
 
@@ -112,20 +162,28 @@ class ExplorationResult:
 class _ExplorationPhaseProgram(NodeProgram):
     """One phase of Algorithm 1: flush the phase buffer at one message/edge/round."""
 
+    __slots__ = ("node_id", "outbuf", "_next_send", "known_dist", "known_via", "newly_learned", "learners")
+
     def __init__(
         self,
         node_id: int,
         outbuf: List[Tuple[int, int]],
-        known: Dict[int, KnownCenter],
+        known_dist: Dict[int, int],
+        known_via: Dict[int, Optional[int]],
         newly_learned: List[int],
+        learners: List[int],
     ) -> None:
         self.node_id = node_id
         # The phase driver hands over a fresh (or shared-empty) buffer per
         # phase and the program never mutates it, so no defensive copy.
         self.outbuf = outbuf
         self._next_send = 0
-        self.known = known
+        self.known_dist = known_dist
+        self.known_via = known_via
         self.newly_learned = newly_learned
+        # Shared registry: a program appends its id on the phase's first
+        # learning event, so the driver resets only the touched programs.
+        self.learners = learners
 
     def on_start(self, ctx: NodeContext) -> None:
         self._send_next(ctx)
@@ -137,22 +195,35 @@ class _ExplorationPhaseProgram(NodeProgram):
         # message per sender per round, so for every center the first
         # arrival already is the smallest announcing sender: processing in
         # arrival order adopts bit-identical (distance, via) entries.
-        known = self.known
+        # Exploration phases carry only EXPLORE messages, so the payload is
+        # always ``(tag, center, distance)``; a learn event is two int dict
+        # inserts -- no record objects on this, the build's hottest path.
+        known_dist = self.known_dist
+        known_via = self.known_via
+        newly = self.newly_learned
         for message in inbox:
             content = message.content
-            if content[0] != EXPLORE_TAG:
-                continue
-            _, center, distance = content
-            if center not in known:
-                known[center] = _new_entry(KnownCenter, (distance + 1, message.sender))
-                self.newly_learned.append(center)
-        self._send_next(ctx)
+            center = content[1]
+            if center not in known_dist:
+                known_dist[center] = content[2] + 1
+                known_via[center] = message.sender
+                if not newly:
+                    self.learners.append(self.node_id)
+                newly.append(center)
+        # Inlined _send_next: this runs once per activation, which makes the
+        # extra method call measurable.
+        i = self._next_send
+        outbuf = self.outbuf
+        if i < len(outbuf):
+            center, distance = outbuf[i]
+            self._next_send = i + 1
+            ctx.broadcast_flat(EXPLORE_TAG, center, distance)
 
     def _send_next(self, ctx: NodeContext) -> None:
         if self._next_send < len(self.outbuf):
             center, distance = self.outbuf[self._next_send]
             self._next_send += 1
-            ctx.broadcast(EXPLORE_TAG, center, distance)
+            ctx.broadcast_flat(EXPLORE_TAG, center, distance)
 
     def is_idle(self) -> bool:
         return self._next_send >= len(self.outbuf)
@@ -185,10 +256,14 @@ def run_bounded_exploration(
     if cap < 1:
         raise ValueError("cap (deg_i) must be >= 1")
 
-    known: List[Dict[int, KnownCenter]] = [dict() for _ in range(n)]
-    outbufs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    known_dist: List[Dict[int, int]] = [dict() for _ in range(n)]
+    known_via: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    # Non-senders share the one empty buffer; only centers start with a real
+    # phase-1 buffer (programs never mutate their buffer).
+    outbufs: List[List[Tuple[int, int]]] = [_NO_BUFFER] * n
     for center in center_list:
-        known[center][center] = KnownCenter(0, None)
+        known_dist[center][center] = 0
+        known_via[center][center] = None
         outbufs[center] = [(center, 0)]
 
     nominal_rounds = 1 + cap * depth
@@ -196,33 +271,34 @@ def run_bounded_exploration(
     messages = 0
     charged_rounds = 0
 
-    for phase in range(1, depth + 1):
-        if all(not buf for buf in outbufs):
-            break
-        newly: List[List[int]] = [[] for _ in range(n)]
-        programs = [
-            _ExplorationPhaseProgram(v, outbufs[v], known[v], newly[v]) for v in range(n)
-        ]
-        phase_nominal = cap if phase > 1 else cap + 1
-        run = simulator.run_protocol(
-            programs,
-            label=f"{label}:phase{phase}",
-            nominal_rounds=phase_nominal,
+    # Vertices holding a non-empty phase buffer -- the only candidates for
+    # sending (and for being awake) when a phase protocol starts; passed to
+    # the scheduler so round 0 and the idle poll touch only them.  Programs
+    # and their newly-learned accumulators are created once and reset between
+    # phases instead of reallocated ``n``-at-a-time per phase.
+    senders: List[int] = list(center_list)
+    newly: List[List[int]] = [[] for _ in range(n)]
+    learners: List[int] = []
+    programs = [
+        _ExplorationPhaseProgram(
+            v, outbufs[v], known_dist[v], known_via[v], newly[v], learners
         )
-        charged_rounds += phase_nominal
-        simulated_rounds += run.rounds_executed
-        messages += run.messages_delivered
-        # Build the next phase's buffers: forward up to ``cap`` newly learned
-        # centers (deterministically the smallest IDs; the paper allows an
-        # arbitrary choice).
-        for v in range(n):
-            fresh_centers = newly[v]
-            if fresh_centers:
-                known_v = known[v]
-                fresh = sorted(set(fresh_centers))[:cap]
-                outbufs[v] = [(center, known_v[center].distance) for center in fresh]
-            else:
-                outbufs[v] = _NO_BUFFER
+        for v in range(n)
+    ]
+    counters = {"charged": 0, "simulated": 0, "messages": 0}
+    try:
+        _run_exploration_phases(
+            simulator, programs, newly, known_dist, senders, learners,
+            depth, cap, label, counters,
+        )
+    finally:
+        # The phase programs are finished (or the run aborted); let the
+        # scheduler's binding cache go so it does not pin them (and the
+        # knowledge they reference) alive.
+        simulator.release_program_bindings()
+    charged_rounds = counters["charged"]
+    simulated_rounds = counters["simulated"]
+    messages = counters["messages"]
 
     # The paper's schedule always occupies 1 + cap * depth rounds even when
     # the network goes quiet early; charge the idle remainder so the ledger
@@ -234,10 +310,11 @@ def run_bounded_exploration(
     popular = {
         center
         for center in center_list
-        if len(known[center]) - 1 >= cap
+        if len(known_dist[center]) - 1 >= cap
     }
     return ExplorationResult(
-        known=known,
+        known_dist=known_dist,
+        known_via=known_via,
         popular=popular,
         centers=center_list,
         depth=depth,
@@ -246,6 +323,61 @@ def run_bounded_exploration(
         simulated_rounds=simulated_rounds,
         messages=messages,
     )
+
+
+def _run_exploration_phases(
+    simulator: Simulator,
+    programs: List[_ExplorationPhaseProgram],
+    newly: List[List[int]],
+    known_dist: List[Dict[int, int]],
+    senders: List[int],
+    learners: List[int],
+    depth: int,
+    cap: int,
+    label: str,
+    counters: Dict[str, int],
+) -> None:
+    """The phase loop of Algorithm 1 (split out so the caller can guarantee
+    the scheduler's binding cache is released even on an aborted run)."""
+    for phase in range(1, depth + 1):
+        if not senders:
+            break
+        phase_nominal = cap if phase > 1 else cap + 1
+        run = simulator.run_protocol(
+            programs,
+            label=f"{label}:phase{phase}",
+            nominal_rounds=phase_nominal,
+            initially_awake=senders,
+            collect_results=False,
+            starters=senders,
+            reuse_bindings=True,
+        )
+        counters["charged"] += phase_nominal
+        counters["simulated"] += run.rounds_executed
+        counters["messages"] += run.messages_delivered
+        # Build the next phase's buffers: forward up to ``cap`` newly learned
+        # centers (deterministically the smallest IDs; the paper allows an
+        # arbitrary choice).  Only the programs that sent or learned this
+        # phase are touched -- last phase's senders are rewound, the learners
+        # (from the shared registry) become the new senders.
+        for v in senders:
+            program = programs[v]
+            program.outbuf = _NO_BUFFER
+            program._next_send = 0
+        senders = sorted(learners)
+        learners.clear()
+        for v in senders:
+            program = programs[v]
+            known_v = known_dist[v]
+            fresh_centers = newly[v]
+            # A center enters ``newly`` at most once per phase (it is in
+            # ``known`` from then on), so the list is duplicate-free.
+            fresh_centers.sort()
+            program.outbuf = [
+                (center, known_v[center]) for center in fresh_centers[:cap]
+            ]
+            fresh_centers.clear()
+            program._next_send = 0
 
 
 @dataclass
@@ -262,7 +394,12 @@ class CenterExploration:
     * ``parents[c]`` -- the BFS-tree parent of every vertex *toward* ``c``
       (``-1`` for unreached vertices, ``c`` for the root itself), with the
       same sorted-neighbour tie-breaking as :func:`centralized_bounded_exploration`'s
-      via-pointers; drives the shortest-path trace-back.
+      via-pointers; drives the shortest-path trace-back.  **Depth-1
+      explorations carry no parent arrays at all**: every trace-back path is
+      the single edge ``(initiator, target)``, which
+      :func:`~repro.primitives.traceback.centralized_traceback_flat` emits
+      directly -- skipping the dense arrays turns the phase-0 exploration
+      (all ``n`` vertices are centers) from O(n^2) into O(n + m).
 
     The full per-vertex knowledge of :func:`centralized_bounded_exploration`
     is a strict superset of this; the engine only ever reads the parts kept
@@ -302,33 +439,31 @@ def centralized_engine_exploration(
         raise ValueError("cap (deg_i) must be >= 1")
 
     rows = graph.csr().rows()
-    is_center = bytearray(n)
-    for center in center_list:
-        is_center[center] = 1
-
     near_centers: Dict[int, List[int]] = {}
     parents: Dict[int, List[int]] = {}
     all_centers = len(center_list) == n
     if depth == 1:
         # Phase-0 shape: every ball is just the neighbour row (already
-        # sorted), so skip the frontier machinery entirely.
-        for center in center_list:
-            row = rows[center]
-            parent = [-1] * n
-            parent[center] = center
-            for v in row:
-                parent[v] = center
-            near_centers[center] = (
-                list(row) if all_centers else [v for v in row if is_center[v]]
-            )
-            parents[center] = parent
+        # sorted), so skip the frontier machinery entirely.  No parent arrays
+        # either: a depth-1 trace-back is the direct edge to the target, so
+        # materializing one dense array per center (O(n^2) when every vertex
+        # is a center) would be pure overhead.
+        if all_centers:
+            for center in center_list:
+                # Rows are sorted tuples; share them instead of copying (the
+                # CenterExploration contract declares the lists read-only).
+                near_centers[center] = rows[center]
+        else:
+            is_center = bytearray(n)
+            for center in center_list:
+                is_center[center] = 1
+            for center in center_list:
+                near_centers[center] = [v for v in rows[center] if is_center[v]]
     else:
         for center in center_list:
             # ``parent`` doubles as the visited marker: >= 0 means reached.
             parent = [-1] * n
             parent[center] = center
-            hits: List[int] = []
-            hit = hits.append
             frontier = [center]
             d = 0
             while frontier and d < depth:
@@ -339,12 +474,13 @@ def centralized_engine_exploration(
                     for v in rows[u]:
                         if parent[v] < 0:
                             parent[v] = u
-                            if is_center[v]:
-                                hit(v)
                             push(v)
                 frontier = next_frontier
-            hits.sort()
-            near_centers[center] = hits
+            # Centers are few past phase 0: scanning the (sorted) center list
+            # against the visited markers beats a per-visit membership test.
+            near_centers[center] = [
+                c for c in center_list if c != center and parent[c] >= 0
+            ]
             parents[center] = parent
 
     popular = {center for center in center_list if len(near_centers[center]) >= cap}
@@ -385,12 +521,12 @@ def centralized_bounded_exploration(
     for center in center_list:
         if not 0 <= center < n:
             raise ValueError(f"center {center} out of range")
-    known: List[Dict[int, KnownCenter]] = [dict() for _ in range(n)]
+    known_dist: List[Dict[int, int]] = [dict() for _ in range(n)]
+    known_via: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
     rows = graph.csr().rows()
-    entry_cls = KnownCenter
-    new_entry = _new_entry
     for center in center_list:
-        known[center][center] = KnownCenter(0, None)
+        known_dist[center][center] = 0
+        known_via[center][center] = None
         seen = {center}
         seen_add = seen.add
         frontier = [center]
@@ -405,14 +541,16 @@ def centralized_bounded_exploration(
                         seen_add(v)
                         # ``u`` is the BFS-tree parent of ``v``, i.e. the
                         # direction a trace-back toward the center must walk.
-                        known[v][center] = new_entry(entry_cls, (d, u))
+                        known_dist[v][center] = d
+                        known_via[v][center] = u
                         push(v)
             frontier = next_frontier
     popular = {
-        center for center in center_list if len(known[center]) - 1 >= cap
+        center for center in center_list if len(known_dist[center]) - 1 >= cap
     }
     return ExplorationResult(
-        known=known,
+        known_dist=known_dist,
+        known_via=known_via,
         popular=popular,
         centers=center_list,
         depth=depth,

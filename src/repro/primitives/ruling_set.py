@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from ..congest.simulator import Simulator
 from .bfs_forest import run_bfs_forest
@@ -94,6 +94,58 @@ def _digit_base(num_vertices: int, c: int) -> int:
     return max(2, math.ceil(num_vertices ** (1.0 / c)))
 
 
+def _digit_scan(
+    num_vertices: int,
+    candidate_list: List[int],
+    base: int,
+    c: int,
+    knock_out,
+) -> List[int]:
+    """The shared flat digit scan both ruling-set variants run.
+
+    Candidates are bucketed by their current digit in one sweep per position
+    (no per-candidate digit tuples, no per-value scans over a shrinking set);
+    liveness is a dense flag array.  ``knock_out(position, value, group)``
+    runs the depth-``q`` reachability step for a selected value group (a
+    CONGEST BFS forest or the centralized kernel) and returns a
+    ``reached(v) -> bool`` predicate; both variants must knock out exactly
+    the same candidates for the engines to agree.  Returns the survivors
+    (the ruling set), sorted.
+    """
+    active: List[int] = list(candidate_list)
+    alive = bytearray(num_vertices)
+    for position in range(c):
+        if not active:
+            break
+        shift = base ** (c - 1 - position)
+        buckets: List[List[int]] = [[] for _ in range(base)]
+        for v in active:
+            buckets[(v // shift) % base].append(v)
+            alive[v] = 1
+        selected: List[int] = []
+        remaining_count = len(active)
+        for value in range(base - 1, -1, -1):
+            group = [v for v in buckets[value] if alive[v]]
+            if not group:
+                continue
+            selected.extend(group)
+            for v in group:
+                alive[v] = 0
+            remaining_count -= len(group)
+            if not remaining_count:
+                # Nobody left to knock out at this position.
+                continue
+            reached = knock_out(position, value, group)
+            for lower in range(value):
+                for v in buckets[lower]:
+                    if alive[v] and reached(v):
+                        alive[v] = 0
+                        remaining_count -= 1
+        selected.sort()
+        active = selected
+    return active
+
+
 def run_ruling_set(
     simulator: Simulator,
     candidates: Iterable[int],
@@ -121,43 +173,26 @@ def run_ruling_set(
 
     base = _digit_base(n, c)
     nominal_rounds = c * base * q
-    simulated_rounds = 0
-    charged_rounds = 0
+    rounds = {"simulated": 0, "charged": 0}
 
-    active: Set[int] = set(candidate_list)
-    digits: Dict[int, Tuple[int, ...]] = {
-        v: id_digits(v, base, c) for v in candidate_list
-    }
+    def knock_out(position: int, value: int, group: List[int]):
+        forest = run_bfs_forest(
+            simulator,
+            sources=group,
+            depth=q,
+            label=f"{label}:pos{position}:val{value}",
+            collect_node_results=False,
+        )
+        rounds["simulated"] += forest.run.rounds_executed
+        rounds["charged"] += forest.nominal_rounds
+        root = forest.root
+        return lambda v: root[v] is not None
 
-    for position in range(c):
-        if not active:
-            break
-        selected: Set[int] = set()
-        remaining = set(active)
-        for value in range(base - 1, -1, -1):
-            group = sorted(v for v in remaining if digits[v][position] == value)
-            if not group:
-                continue
-            selected.update(group)
-            remaining.difference_update(group)
-            if not remaining:
-                # Nobody left to knock out at this position.
-                continue
-            forest = run_bfs_forest(
-                simulator,
-                sources=group,
-                depth=q,
-                label=f"{label}:pos{position}:val{value}",
-            )
-            simulated_rounds += forest.run.rounds_executed
-            charged_rounds += forest.nominal_rounds
-            knocked_out = {v for v in remaining if forest.spanned(v)}
-            remaining.difference_update(knocked_out)
-        active = selected
+    active = _digit_scan(n, candidate_list, base, c, knock_out)
 
     # Charge the idle part of the schedule so the ledger totals the paper's
     # O(q * c * n^{1/c}) figure.
-    idle_rounds = max(0, nominal_rounds - charged_rounds)
+    idle_rounds = max(0, nominal_rounds - rounds["charged"])
     if idle_rounds:
         simulator.ledger.charge(label=f"{label}:idle-schedule", nominal_rounds=idle_rounds)
 
@@ -170,7 +205,7 @@ def run_ruling_set(
         separation=q + 1,
         domination_radius=c * q,
         nominal_rounds=nominal_rounds,
-        simulated_rounds=simulated_rounds,
+        simulated_rounds=rounds["simulated"],
     )
 
 
@@ -194,26 +229,14 @@ def centralized_ruling_set(
     if c < 1:
         raise ValueError("c must be >= 1")
     base = _digit_base(n, c)
-    digits = {v: id_digits(v, base, c) for v in candidate_list}
 
-    active: Set[int] = set(candidate_list)
-    for position in range(c):
-        if not active:
-            break
-        selected: Set[int] = set()
-        remaining = set(active)
-        for value in range(base - 1, -1, -1):
-            group = sorted(v for v in remaining if digits[v][position] == value)
-            if not group:
-                continue
-            selected.update(group)
-            remaining.difference_update(group)
-            if not remaining:
-                continue
-            reached_dist, _ = _flat_bfs_distances(graph, group, max_depth=q)
-            knocked_out = {v for v in remaining if reached_dist[v] >= 0}
-            remaining.difference_update(knocked_out)
-        active = selected
+    # The same shared digit scan as :func:`run_ruling_set`, with the
+    # centralized BFS kernel doing the knock-outs.
+    def knock_out(_position: int, _value: int, group: List[int]):
+        reached_dist, _ = _flat_bfs_distances(graph, group, max_depth=q)
+        return lambda v: reached_dist[v] >= 0
+
+    active = _digit_scan(n, candidate_list, base, c, knock_out)
 
     return RulingSetResult(
         ruling_set=set(active),

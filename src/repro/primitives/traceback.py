@@ -28,7 +28,7 @@ from ..congest.node import NodeContext, NodeProgram
 from ..congest.simulator import Simulator
 from ..graphs.graph import normalize_edge
 from .bfs_forest import ForestResult
-from .exploration import ExplorationResult, KnownCenter
+from .exploration import ExplorationResult
 
 TRACE_TAG = "trace"
 MARKUP_TAG = "markup"
@@ -44,33 +44,50 @@ class TracebackResult:
 
 
 class _TracebackProgram(NodeProgram):
-    """Forwards trace-back requests along via-pointers, marking traversed edges."""
+    """Forwards trace-back requests along via-pointers, marking traversed edges.
+
+    Most vertices never participate in a given trace-back, so the per-node
+    containers (marked edges, forwarded-target set, per-neighbour queues) are
+    allocated lazily on first use instead of eagerly for all ``n`` programs.
+    """
+
+    __slots__ = ("node_id", "known_via", "marked", "forwarded", "queues")
 
     def __init__(
         self,
         node_id: int,
-        known: Dict[int, "KnownCenter"],
+        known_via: Dict[int, Optional[int]],
         initial_targets: Sequence[int],
+        marked: Set[Tuple[int, int]],
     ) -> None:
         self.node_id = node_id
-        # The exploration's knowledge map is read in place (center ->
-        # KnownCenter); its ``via`` pointers are the trace-back directions.
-        self.known = known
-        self.marked: Set[Tuple[int, int]] = set()
-        self.forwarded: Set[int] = set()
-        self.queues: Dict[int, deque] = {}
+        # The exploration's flat via map is read in place; its pointers are
+        # the trace-back directions.
+        self.known_via = known_via
+        # Shared edge set owned by the driver: programs mark traversed edges
+        # directly into it, so no per-node result sweep is needed.
+        self.marked = marked
+        self.forwarded: Optional[Set[int]] = None
+        self.queues: Optional[Dict[int, deque]] = None
         for target in initial_targets:
             self._enqueue(target)
 
     def _enqueue(self, target: int) -> None:
-        if target == self.node_id or target in self.forwarded:
+        if target == self.node_id:
             return
-        entry = self.known.get(target)
-        if entry is None or entry.via is None:
+        forwarded = self.forwarded
+        if forwarded is None:
+            forwarded = self.forwarded = set()
+        elif target in forwarded:
+            return
+        via = self.known_via.get(target)
+        if via is None:
             # Either we do not know the target or we are the target itself.
             return
-        self.forwarded.add(target)
-        self.queues.setdefault(entry.via, deque()).append(target)
+        forwarded.add(target)
+        if self.queues is None:
+            self.queues = {}
+        self.queues.setdefault(via, deque()).append(target)
 
     def on_start(self, ctx: NodeContext) -> None:
         self._flush(ctx)
@@ -90,12 +107,14 @@ class _TracebackProgram(NodeProgram):
         queues = self.queues
         if not queues:
             return
+        marked = self.marked
         emptied: List[int] = []
+        node_id = self.node_id
         for neighbor in sorted(queues):
             queue = queues[neighbor]
             target = queue.popleft()
-            ctx.send(neighbor, TRACE_TAG, target)
-            self.marked.add(normalize_edge(self.node_id, neighbor))
+            ctx.send_flat(neighbor, TRACE_TAG, target)
+            marked.add((node_id, neighbor) if node_id <= neighbor else (neighbor, node_id))
             if not queue:
                 emptied.append(neighbor)
         for neighbor in emptied:
@@ -104,8 +123,8 @@ class _TracebackProgram(NodeProgram):
     def is_idle(self) -> bool:
         return not self.queues
 
-    def result(self) -> Set[Tuple[int, int]]:
-        return self.marked
+    def result(self) -> None:
+        return None
 
 
 def run_traceback(
@@ -125,20 +144,30 @@ def run_traceback(
     """
     graph = simulator.graph
     n = graph.num_vertices
+    known_via = exploration.known_via
+    no_requests: Tuple[int, ...] = ()
+    edges: Set[Tuple[int, int]] = set()
     programs = []
+    initiators: List[int] = []
     for v in range(n):
-        initial = sorted(set(requests.get(v, ())))
-        programs.append(_TracebackProgram(v, exploration.known[v], initial))
+        targets = requests.get(v)
+        if targets is None:
+            programs.append(_TracebackProgram(v, known_via[v], no_requests, edges))
+        else:
+            programs.append(
+                _TracebackProgram(v, known_via[v], sorted(set(targets)), edges)
+            )
+            initiators.append(v)
     if nominal_rounds is None:
         nominal_rounds = exploration.cap * exploration.depth
     run = simulator.run_protocol(
         programs,
         label=label,
         nominal_rounds=nominal_rounds,
+        initially_awake=initiators,
+        starters=initiators,
+        collect_results=False,
     )
-    edges: Set[Tuple[int, int]] = set()
-    for marked in run.results:
-        edges.update(marked)
     return TracebackResult(
         edges=edges,
         nominal_rounds=nominal_rounds,
@@ -149,10 +178,20 @@ def run_traceback(
 class _ForestMarkupProgram(NodeProgram):
     """Marks forest edges on the path from designated vertices up to their roots."""
 
-    def __init__(self, node_id: int, parent: Optional[int], is_target: bool) -> None:
+    __slots__ = ("node_id", "parent", "marked", "_should_propagate", "_propagated")
+
+    def __init__(
+        self,
+        node_id: int,
+        parent: Optional[int],
+        is_target: bool,
+        marked: Set[Tuple[int, int]],
+    ) -> None:
         self.node_id = node_id
         self.parent = parent
-        self.marked: Set[Tuple[int, int]] = set()
+        # Shared edge set owned by the driver (each node contributes at most
+        # its parent edge).
+        self.marked = marked
         self._should_propagate = is_target and parent is not None
         self._propagated = False
 
@@ -169,16 +208,18 @@ class _ForestMarkupProgram(NodeProgram):
 
     def _propagate(self, ctx: NodeContext) -> None:
         if self._should_propagate and not self._propagated:
-            assert self.parent is not None
-            ctx.send(self.parent, MARKUP_TAG)
-            self.marked.add(normalize_edge(self.node_id, self.parent))
+            parent = self.parent
+            assert parent is not None
+            ctx.send_flat(parent, MARKUP_TAG)
+            node_id = self.node_id
+            self.marked.add((node_id, parent) if node_id <= parent else (parent, node_id))
             self._propagated = True
 
     def is_idle(self) -> bool:
         return self._propagated or not self._should_propagate
 
-    def result(self) -> Set[Tuple[int, int]]:
-        return self.marked
+    def result(self) -> None:
+        return None
 
 
 def run_forest_path_markup(
@@ -195,22 +236,27 @@ def run_forest_path_markup(
     """
     n = simulator.graph.num_vertices
     target_set = set(targets)
+    root = forest.root
     for t in target_set:
         if not 0 <= t < n:
             raise ValueError(f"target {t} out of range")
-        if not forest.spanned(t):
+        if root[t] is None:
             raise ValueError(f"target {t} is not spanned by the forest")
+    parent = forest.parent
+    edges: Set[Tuple[int, int]] = set()
     programs = [
-        _ForestMarkupProgram(v, forest.parent[v], v in target_set) for v in range(n)
+        _ForestMarkupProgram(v, parent[v], v in target_set, edges) for v in range(n)
     ]
+    # Markup programs always propagate within the round that triggers them,
+    # so no program is ever observed non-idle: pure message-driven protocol.
     run = simulator.run_protocol(
         programs,
         label=label,
         nominal_rounds=forest.depth,
+        message_driven=True,
+        starters=sorted(target_set),
+        collect_results=False,
     )
-    edges: Set[Tuple[int, int]] = set()
-    for marked in run.results:
-        edges.update(marked)
     return TracebackResult(
         edges=edges,
         nominal_rounds=forest.depth,
@@ -224,9 +270,10 @@ def centralized_traceback(
 ) -> Set[Tuple[int, int]]:
     """Centralized equivalent of :func:`run_traceback` (used by the reference engine)."""
     edges: Set[Tuple[int, int]] = set()
+    known_dist = exploration.known_dist
     for initiator, targets in requests.items():
         for target in targets:
-            if target == initiator or target not in exploration.known[initiator]:
+            if target == initiator or target not in known_dist[initiator]:
                 continue
             path = exploration.trace_path(initiator, target)
             for a, b in zip(path, path[1:]):
@@ -243,10 +290,20 @@ def centralized_traceback_flat(
     Walks each requested ``initiator -> target`` shortest path along the
     target's dense parent array; the chains (and hence the produced edge set)
     are identical to :func:`centralized_traceback` over the exhaustive
-    knowledge maps.
+    knowledge maps.  Depth-1 explorations carry no parent arrays (see
+    :class:`~repro.primitives.exploration.CenterExploration`): each path is
+    the single edge ``(initiator, target)``, emitted directly.
     """
     edges: Set[Tuple[int, int]] = set()
     add = edges.add
+    if exploration.depth <= 1:
+        # Every known target is a direct neighbour; the traced path is the
+        # connecting edge itself.
+        for initiator, targets in requests.items():
+            for target in targets:
+                if target != initiator:
+                    add((initiator, target) if initiator <= target else (target, initiator))
+        return edges
     parents = exploration.parents
     for initiator, targets in requests.items():
         for target in targets:
