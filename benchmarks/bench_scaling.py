@@ -1,8 +1,26 @@
-"""Benchmark S1: scaling of rounds and spanner size with n (Corollaries 2.9 / 2.13)."""
+"""Benchmark S1: scaling of rounds and spanner size with n (Corollaries 2.9 / 2.13),
+plus the scale-tier workloads (PR 5): a full distributed build at n=2000 and a
+centralized build at n=10000 under **pinned wall-clock budgets**.
+
+The budgets are deliberately generous multiples of the reference machine's
+measured times (so CI hardware jitter does not trip them) but tight enough
+that an accidental O(n^2) regression on the large-n path fails the harness
+outright.  The protocol counters recorded through ``extra_info`` are
+deterministic and diffable across snapshots (``scripts/bench_compare.py``).
+"""
 
 from __future__ import annotations
 
-from repro.experiments import run_scaling
+import time
+
+from repro import build_spanner
+from repro.experiments import default_parameters, run_scaling
+from repro.graphs import make_workload
+
+#: Pinned scale-tier budgets, in seconds (reference machine: ~0.08s and
+#: ~0.06s respectively; see the "Scale tier (PR 5)" section of ROADMAP.md).
+DISTRIBUTED_N2000_BUDGET_S = 5.0
+CENTRALIZED_N10000_BUDGET_S = 5.0
 
 
 def _run():
@@ -18,3 +36,62 @@ def test_scaling_rounds_and_size(benchmark):
     assert record.parameters["rounds-exponent"] < 1.0
     benchmark.extra_info["rounds_exponent"] = record.parameters["rounds-exponent"]
     benchmark.extra_info["sizes"] = len(record.rows)
+
+
+def test_scale_tier_distributed_n2000(benchmark):
+    """Full CONGEST-simulated build at n=2000 within the pinned budget."""
+    graph = make_workload("sparse_gnp", 2000, seed=3)
+    parameters = default_parameters()
+
+    def run():
+        start = time.perf_counter()
+        result = build_spanner(graph, parameters=parameters, engine="distributed")
+        return result, time.perf_counter() - start
+
+    result, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert seconds <= DISTRIBUTED_N2000_BUDGET_S, (
+        f"distributed n=2000 build took {seconds:.2f}s "
+        f"(budget {DISTRIBUTED_N2000_BUDGET_S}s)"
+    )
+    benchmark.extra_info["nominal_rounds"] = result.nominal_rounds
+    benchmark.extra_info["spanner_edges"] = result.num_edges
+    if result.ledger is not None:
+        benchmark.extra_info["messages"] = result.ledger.messages
+        benchmark.extra_info["simulated_rounds"] = result.ledger.simulated_rounds
+
+
+def test_scale_tier_centralized_n10000(benchmark):
+    """Centralized reference build at n=10000 within the pinned budget."""
+    graph = make_workload("sparse_gnp", 10000, seed=3)
+    parameters = default_parameters()
+
+    def run():
+        start = time.perf_counter()
+        result = build_spanner(graph, parameters=parameters, engine="centralized")
+        return result, time.perf_counter() - start
+
+    result, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert seconds <= CENTRALIZED_N10000_BUDGET_S, (
+        f"centralized n=10000 build took {seconds:.2f}s "
+        f"(budget {CENTRALIZED_N10000_BUDGET_S}s)"
+    )
+    benchmark.extra_info["nominal_rounds"] = result.nominal_rounds
+    benchmark.extra_info["spanner_edges"] = result.num_edges
+
+
+def test_scale_tier_generators(benchmark):
+    """The scale-tier generator families produce 10k-vertex graphs in one batch."""
+
+    def run():
+        graphs = {
+            family: make_workload(family, 10000, seed=3)
+            for family in ("sparse_gnp", "powerlaw", "hyperbolic")
+        }
+        return graphs
+
+    graphs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for family, graph in graphs.items():
+        assert graph.num_vertices == 10000, family
+        assert graph.num_edges >= 10000, family
+    benchmark.extra_info["families"] = len(graphs)
+    benchmark.extra_info["total_edges"] = sum(g.num_edges for g in graphs.values())

@@ -1,23 +1,29 @@
 #!/usr/bin/env python
-"""One-command repository health check: tests + goldens + docs drift.
+"""One-command repository health check: tests + goldens + benchmarks + docs.
 
-Runs, in order:
+Runs, in order (see :func:`stage_plan`):
 
-1. the tier-1 pytest suite (``PYTHONPATH=src python -m pytest -x -q``),
-2. the golden-counter check of ``scripts/bench_compare.py`` against the
-   committed ``BENCH_seed.json`` baseline (``--skip-benchmarks`` mode: the
-   fixed distributed build and BFS-forest protocol must stay bit-identical --
-   wall-clock benchmarks are skipped, so this is fast and hardware-independent),
-3. a quick-mode run of the phase-level micro-benchmarks
-   (``benchmarks/bench_phases.py --benchmark-disable``: the superclustering /
-   interconnection phase drivers run once, assertions only -- catches phase
-   regressions without timing anything),
-4. the EXPERIMENTS.md drift check
-   (``scripts/generate_experiments_md.py --check``: the committed docs must
-   match the current algorithm/scenario registries).
+1. ``tier-1 tests`` -- the full pytest suite (``PYTHONPATH=src python -m
+   pytest -x -q``); ``--junitxml PATH`` passes a JUnit report path through to
+   pytest, ``--fast`` skips the stage entirely.
+2. ``golden counters`` -- ``scripts/bench_compare.py --skip-benchmarks``
+   against the committed ``BENCH_seed.json``: the fixed distributed build and
+   BFS-forest protocol must stay bit-identical.  ``--snapshot PATH`` keeps
+   the produced snapshot (CI uploads it as an artifact).
+3. ``phase micro-benchmarks (quick mode)`` -- the superclustering /
+   interconnection phase drivers run once, assertions only.
+4. ``capacity ladder (quick mode)`` -- ``repro capacity`` on a tiny budget
+   and window: exercises the measured-capacity search and its CLI end to end
+   on every push without paying real measurement time.
+5. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
+   current algorithm/scenario registries.
 
-Exit status is non-zero if any stage fails.  This is what the GitHub
-Actions workflow (.github/workflows/ci.yml) runs; locally::
+Stages run sequentially and the first failure stops the run (later stages
+are reported as skipped).  Exit status is non-zero if any stage fails.
+
+Under GitHub Actions (``GITHUB_ACTIONS=true``) every stage is wrapped in a
+``::group::`` block, failures emit ``::error`` annotations, and a per-stage
+outcome table is appended to ``$GITHUB_STEP_SUMMARY``.  Locally::
 
     python scripts/ci_check.py            # all stages
     python scripts/ci_check.py --fast     # skip the pytest stage
@@ -30,10 +36,33 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
+from typing import List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
+
+#: Budget/window of the quick-mode capacity stage: small enough that every
+#: probe build finishes in well under a second.
+QUICK_CAPACITY_BUDGET = "0.2"
+QUICK_CAPACITY_MAX_N = "128"
+QUICK_CAPACITY_START_N = "32"
+
+
+@dataclass
+class StageResult:
+    """Outcome of one stage: name, skip reason or exit status, wall-clock."""
+
+    name: str
+    status: str  # "ok" | "failed" | "skipped"
+    returncode: Optional[int] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failed"
 
 
 def _env() -> dict:
@@ -43,51 +72,38 @@ def _env() -> dict:
     return env
 
 
-def run_stage(name: str, cmd: list) -> bool:
-    print(f"==> {name}: {' '.join(cmd)}", flush=True)
-    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_env())
-    ok = proc.returncode == 0
-    print(f"==> {name}: {'OK' if ok else f'FAILED (exit {proc.returncode})'}", flush=True)
-    return ok
+def in_github_actions() -> bool:
+    """Whether we are running under GitHub Actions (enables annotations)."""
+    return os.environ.get("GITHUB_ACTIONS") == "true"
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="skip the pytest stage; only check the golden protocol counters",
-    )
-    args = parser.parse_args(argv)
+def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, Optional[List[str]]]]:
+    """The ordered stage list as ``(name, command-or-None)`` pairs.
 
-    ok = True
+    ``None`` commands are reported as skipped (e.g. the pytest stage under
+    ``--fast``).  Kept as one pure function of the arguments so the stage
+    ordering and flag handling are unit-testable without running anything.
+    """
+    pytest_cmd: Optional[List[str]] = None
     if not args.fast:
-        ok = run_stage(
-            "tier-1 tests", [sys.executable, "-m", "pytest", "-x", "-q"]
-        ) and ok
-    if ok or args.fast:
-        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
-            snapshot = handle.name
-        try:
-            ok = run_stage(
-                "golden counters",
-                [
-                    sys.executable,
-                    str(REPO_ROOT / "scripts" / "bench_compare.py"),
-                    "--skip-benchmarks",
-                    "--output",
-                    snapshot,
-                    "--baseline",
-                    str(REPO_ROOT / "BENCH_seed.json"),
-                ],
-            ) and ok
-        finally:
-            try:
-                os.unlink(snapshot)
-            except OSError:
-                pass
-    if ok or args.fast:
-        ok = run_stage(
+        pytest_cmd = [sys.executable, "-m", "pytest", "-x", "-q"]
+        if args.junitxml:
+            pytest_cmd.append(f"--junitxml={args.junitxml}")
+    return [
+        ("tier-1 tests", pytest_cmd),
+        (
+            "golden counters",
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "bench_compare.py"),
+                "--skip-benchmarks",
+                "--output",
+                snapshot_path,
+                "--baseline",
+                str(REPO_ROOT / "BENCH_seed.json"),
+            ],
+        ),
+        (
             "phase micro-benchmarks (quick mode)",
             [
                 sys.executable,
@@ -97,18 +113,144 @@ def main(argv=None) -> int:
                 str(REPO_ROOT / "benchmarks" / "bench_phases.py"),
                 "--benchmark-disable",
             ],
-        ) and ok
-    if ok or args.fast:
-        ok = run_stage(
+        ),
+        (
+            "capacity ladder (quick mode)",
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "capacity",
+                "--budget",
+                QUICK_CAPACITY_BUDGET,
+                "--start-n",
+                QUICK_CAPACITY_START_N,
+                "--max-n",
+                QUICK_CAPACITY_MAX_N,
+            ],
+        ),
+        (
             "experiments-md drift",
             [
                 sys.executable,
                 str(REPO_ROOT / "scripts" / "generate_experiments_md.py"),
                 "--check",
             ],
-        ) and ok
-    print("==> all checks passed" if ok else "==> CHECKS FAILED", flush=True)
-    return 0 if ok else 1
+        ),
+    ]
+
+
+def run_stage(name: str, cmd: List[str]) -> StageResult:
+    """Run one stage command, grouped and annotated under GitHub Actions."""
+    github = in_github_actions()
+    if github:
+        print(f"::group::{name}", flush=True)
+    print(f"==> {name}: {' '.join(cmd)}", flush=True)
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_env())
+    seconds = time.perf_counter() - start
+    ok = proc.returncode == 0
+    print(f"==> {name}: {'OK' if ok else f'FAILED (exit {proc.returncode})'}", flush=True)
+    if github:
+        print("::endgroup::", flush=True)
+        if not ok:
+            print(
+                f"::error title=ci_check stage failed::stage {name!r} "
+                f"exited with status {proc.returncode}",
+                flush=True,
+            )
+    return StageResult(
+        name=name,
+        status="ok" if ok else "failed",
+        returncode=proc.returncode,
+        seconds=seconds,
+    )
+
+
+def render_step_summary(results: List[StageResult]) -> str:
+    """The Markdown outcome table appended to ``$GITHUB_STEP_SUMMARY``."""
+    lines = [
+        "### ci_check stage outcomes",
+        "",
+        "| stage | outcome | exit | seconds |",
+        "| --- | --- | --- | --- |",
+    ]
+    icons = {"ok": "✅ ok", "failed": "❌ failed", "skipped": "⏭️ skipped"}
+    for result in results:
+        exit_code = "-" if result.returncode is None else str(result.returncode)
+        lines.append(
+            f"| {result.name} | {icons[result.status]} | {exit_code} "
+            f"| {result.seconds:.1f} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(results: List[StageResult]) -> None:
+    """Append the outcome table to the workflow step summary, if present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    try:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(render_step_summary(results))
+    except OSError:
+        pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the pytest stage; only run the cheap check stages",
+    )
+    parser.add_argument(
+        "--junitxml",
+        type=str,
+        default=None,
+        help="JUnit XML report path passed through to the pytest stage",
+    )
+    parser.add_argument(
+        "--snapshot",
+        type=str,
+        default=None,
+        help="keep the golden-counter snapshot at this path (for CI artifacts)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.snapshot:
+        snapshot = args.snapshot
+        cleanup_snapshot = False
+    else:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+            snapshot = handle.name
+        cleanup_snapshot = True
+
+    results: List[StageResult] = []
+    failed = False
+    try:
+        for name, cmd in stage_plan(args, snapshot):
+            if cmd is None:
+                results.append(StageResult(name=name, status="skipped"))
+                print(f"==> {name}: skipped", flush=True)
+                continue
+            if failed:
+                results.append(StageResult(name=name, status="skipped"))
+                print(f"==> {name}: skipped (earlier stage failed)", flush=True)
+                continue
+            result = run_stage(name, cmd)
+            results.append(result)
+            failed = failed or not result.ok
+    finally:
+        if cleanup_snapshot:
+            try:
+                os.unlink(snapshot)
+            except OSError:
+                pass
+        write_step_summary(results)
+
+    print("==> all checks passed" if not failed else "==> CHECKS FAILED", flush=True)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

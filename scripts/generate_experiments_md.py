@@ -58,6 +58,11 @@ PAPER_CLAIMS = {
     "family-small-world": "Workload family: small-world rewiring; the guarantee must hold across the lattice-to-expander transition, on both engines.",
     "family-geometric": "Workload family: random geometric graphs; supercluster growth over genuinely local, non-uniform neighbourhoods.",
     "family-multi-component": "Workload family: disconnected unions; the spanner must preserve the component structure exactly.",
+    "family-powerlaw": "Scale-tier family: Holme-Kim preferential attachment with triangle closure; the guarantee must hold under heavy-tailed degrees and hub-dominated distances.",
+    "family-hyperbolic": "Scale-tier family: hyperbolic-like graphs (Chung-Lu power-law hubs over an angular ring); heterogeneous degrees plus geometric locality, on both engines.",
+    "family-torus": "Scale-tier family: 2-D tori at four-digit sizes; the canonical large-diameter regular regime where near-additive spanners beat multiplicative ones.",
+    "scaling-large": "Scale tier: the Corollary 2.9 / 2.13 round and size exponents re-fitted at n up to 4096 on the O(n+m) skip-sampling G(n, p) family.",
+    "scaling-growth": "Scale tier: the distributed engine's empirical CONGEST rounds/messages across the new families must grow consistently with the declared O(beta)-phase bound (rounds under the closed-form bound, exponent within rho plus slack, messages under the bandwidth ceiling).",
 }
 
 DOC_HEADER = """\

@@ -16,8 +16,9 @@ tests pick it up automatically.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
+from ..analysis.capacity import MEASURED_HINTS_PATH, load_ladder
 from ..baselines import (
     build_baswana_sen_spanner,
     build_elkin05_surrogate_spanner,
@@ -33,6 +34,44 @@ from ..core.spanner import ENGINE_CENTRALIZED, ENGINE_DISTRIBUTED, build_spanner
 from ..graphs.graph import Graph
 from .registry import AlgorithmSpec, ParamSpec, Params, register
 from .result import RunResult
+
+#: The committed measured capacity ladder (``capacity-ladder/v1``), written
+#: by ``repro capacity --update-defaults`` (see :mod:`repro.analysis.capacity`
+#: -- one shared path constant, so the writer and this reader cannot drift).
+#: Registration reads the per-algorithm ``max_practical_vertices`` from it, so
+#: the capability hints are *measured* numbers; the hand-set constants below
+#: survive only as fallbacks for trees without the file.
+MEASURED_CAPACITY_PATH = MEASURED_HINTS_PATH
+
+_measured_hints_cache: Optional[Dict[str, int]] = None
+
+
+def measured_capacity_hints() -> Dict[str, int]:
+    """The measured ``algorithm -> max_practical_vertices`` map (cached).
+
+    Empty when the committed ladder is missing or malformed -- registrations
+    then keep their hand-set fallback hints.
+    """
+    global _measured_hints_cache
+    if _measured_hints_cache is None:
+        hints: Dict[str, int] = {}
+        ladder = load_ladder(MEASURED_CAPACITY_PATH)
+        if ladder is not None:
+            for name, entry in ladder.get("entries", {}).items():
+                try:
+                    capacity = int(entry["max_practical_vertices"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if capacity > 0:
+                    hints[name] = capacity
+        _measured_hints_cache = hints
+    return _measured_hints_cache
+
+
+def _measured_hint(name: str, fallback: Optional[int]) -> Optional[int]:
+    """The measured capacity of ``name``, or the hand-set ``fallback``."""
+    return measured_capacity_hints().get(name, fallback)
+
 
 #: The shared parameter schema of every (1+eps, beta)-spanner construction.
 STRETCH_PARAMS = (
@@ -108,6 +147,7 @@ NEW_CENTRALIZED = register(
         tags=("engine", "deterministic", "centralized", "near-additive", "paper"),
         params=STRETCH_PARAMS,
         guarantee=_engine_guarantee,
+        max_practical_vertices=_measured_hint("new-centralized", None),
     )
 )
 
@@ -122,9 +162,10 @@ NEW_DISTRIBUTED = register(
         tags=("engine", "deterministic", "distributed", "congest", "near-additive", "paper"),
         params=STRETCH_PARAMS,
         guarantee=_engine_guarantee,
-        # Simulating every CONGEST round is the point, and the price: past a
-        # few hundred vertices a full simulated build stops being interactive.
-        max_practical_vertices=300,
+        # Simulating every CONGEST round is the point, and the price; the
+        # measured ladder says where a full simulated build stops being
+        # interactive (hand-set 300 is the ladder-less fallback).
+        max_practical_vertices=_measured_hint("new-distributed", 300),
     )
 )
 
@@ -154,6 +195,7 @@ ELKIN_NEIMAN = register(
         tags=("baseline", "randomized", "centralized", "near-additive"),
         params=STRETCH_PARAMS,
         guarantee=_elkin_neiman_guarantee,
+        max_practical_vertices=_measured_hint("elkin-neiman-2017", None),
     )
 )
 
@@ -180,6 +222,7 @@ ELKIN_PELEG = register(
         tags=("baseline", "deterministic", "centralized", "near-additive"),
         params=STRETCH_PARAMS,
         guarantee=_elkin_peleg_guarantee,
+        max_practical_vertices=_measured_hint("elkin-peleg-2001", None),
     )
 )
 
@@ -206,6 +249,7 @@ ELKIN05_SURROGATE = register(
         tags=("baseline", "deterministic", "congest", "near-additive"),
         params=STRETCH_PARAMS,
         guarantee=_elkin05_guarantee,
+        max_practical_vertices=_measured_hint("elkin05-surrogate", None),
     )
 )
 
@@ -237,6 +281,7 @@ BASWANA_SEN = register(
         tags=("baseline", "randomized", "centralized", "multiplicative"),
         params=MULTIPLICATIVE_PARAMS,
         guarantee=_baswana_sen_guarantee,
+        max_practical_vertices=_measured_hint("baswana-sen", None),
     )
 )
 
@@ -273,7 +318,8 @@ GREEDY = register(
         ),
         guarantee=_greedy_guarantee,
         # Each candidate edge pays a bounded-depth BFS in the partial spanner;
-        # beyond a few hundred vertices the quadratic-ish scan dominates.
-        max_practical_vertices=400,
+        # the measured ladder says where the quadratic-ish scan stops being
+        # interactive (hand-set 400 is the ladder-less fallback).
+        max_practical_vertices=_measured_hint("greedy", 400),
     )
 )

@@ -1,0 +1,265 @@
+"""Measured capacity ladder: the largest practical ``n`` per algorithm.
+
+The algorithm registry carries a ``max_practical_vertices`` capability hint
+per :class:`~repro.algorithms.registry.AlgorithmSpec` -- the size above which
+pipelines stop considering a construction interactive.  Until PR 5 those
+hints were hand-set constants; this module *measures* them: for each
+registered algorithm it searches for the largest vertex count whose build
+completes within a wall-clock budget, by doubling until the budget is
+exceeded and then binary-searching the bracket.
+
+The output is a machine-readable **capacity ladder** (schema
+``capacity-ladder/v1``)::
+
+    {
+      "schema": "capacity-ladder/v1",
+      "budget_seconds": 5.0,
+      "family": "sparse_gnp",
+      "seed": 7,
+      "entries": {
+        "greedy": {
+          "max_practical_vertices": 2048,
+          "budget_exhausted": true,
+          "probes": [[64, 0.01], [128, 0.05], ...],
+          "declared_hint": 400
+        },
+        ...
+      }
+    }
+
+``repro capacity`` is the CLI entry point; ``--update-defaults`` writes the
+ladder to :data:`MEASURED_HINTS_PATH`, which
+:mod:`repro.algorithms.builtin` reads at registration time so the measured
+numbers replace the hand-set fallbacks.  The ladder is a *host-specific*
+measurement -- regenerate it when moving to different hardware or after a
+perf-relevant change (the committed file records the reference machine).
+
+The search core (:func:`largest_n_within_budget`) is a pure function of an
+injected ``probe(n) -> seconds`` callable, so the binary-search logic is unit
+tested on synthetic timing functions without building anything.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+CAPACITY_SCHEMA = "capacity-ladder/v1"
+
+#: Default workload family for capacity probes: sparse, O(n + m) to generate,
+#: connected-ish -- the scale-tier reference shape.
+DEFAULT_FAMILY = "sparse_gnp"
+
+#: Where ``repro capacity --update-defaults`` writes the measured ladder and
+#: where the algorithm registry reads the measured hints from.
+MEASURED_HINTS_PATH = Path(__file__).resolve().parent.parent / "algorithms" / "CAPACITY.json"
+
+#: Search floor: below this the notion of a "practical size" is meaningless.
+MIN_PRACTICAL_N = 16
+
+Probe = Callable[[int], float]
+
+
+def largest_n_within_budget(
+    probe: Probe,
+    budget_seconds: float,
+    *,
+    start_n: int = 64,
+    max_n: int = 16384,
+    min_n: int = MIN_PRACTICAL_N,
+    resolution: float = 0.125,
+) -> Tuple[int, List[Tuple[int, float]]]:
+    """Largest ``n`` with ``probe(n) <= budget_seconds``, assuming monotone cost.
+
+    Doubles from ``start_n`` until the budget is exceeded (or ``max_n`` is
+    reached), contracts downward if even ``start_n`` is over budget, then
+    binary-searches the bracket down to a relative resolution of
+    ``resolution`` (an eighth of the answer by default -- capacity is an
+    order-of-magnitude hint, not a benchmark).
+
+    Returns ``(capacity, probes)`` where ``probes`` is every ``(n, seconds)``
+    measurement taken, in order.  ``capacity`` is 0 when even ``min_n`` runs
+    over budget, and ``max_n`` when the budget is never exhausted (the
+    algorithm out-scales the search window).
+    """
+    if budget_seconds <= 0:
+        raise ValueError("budget_seconds must be positive")
+    if not min_n <= start_n <= max_n:
+        raise ValueError("need min_n <= start_n <= max_n")
+    probes: List[Tuple[int, float]] = []
+
+    def timed(n: int) -> float:
+        seconds = float(probe(n))
+        probes.append((n, seconds))
+        return seconds
+
+    n = start_n
+    if timed(n) > budget_seconds:
+        # Contract: halve until something fits (or nothing does).
+        hi = n
+        while n > min_n:
+            n = max(min_n, n // 2)
+            if timed(n) <= budget_seconds:
+                break
+            hi = n
+        else:
+            return 0, probes
+        lo = n
+    else:
+        # Expand: double until over budget or out of window.
+        lo = n
+        while lo < max_n:
+            nxt = min(lo * 2, max_n)
+            if timed(nxt) <= budget_seconds:
+                lo = nxt
+            else:
+                break
+        if lo == max_n:
+            return lo, probes
+        hi = probes[-1][0]
+
+    # Binary search (lo within budget, hi over it) to relative resolution.
+    while hi - lo > max(1, int(lo * resolution)):
+        mid = (lo + hi) // 2
+        if timed(mid) <= budget_seconds:
+            lo = mid
+        else:
+            hi = mid
+    return lo, probes
+
+
+def build_probe(
+    algorithm: str,
+    family: str = DEFAULT_FAMILY,
+    seed: int = 7,
+) -> Probe:
+    """A probe that times one real build of ``algorithm`` at size ``n``.
+
+    Workload generation is excluded from the timing -- the budget measures
+    the construction, not the generator.
+    """
+    from ..algorithms import get_spec
+    from ..graphs.generators import make_workload
+
+    spec = get_spec(algorithm)
+
+    def probe(n: int) -> float:
+        graph = make_workload(family, n, seed=seed)
+        start = time.perf_counter()
+        spec.run(graph, seed=seed)
+        return time.perf_counter() - start
+
+    return probe
+
+
+def measure_algorithm_capacity(
+    algorithm: str,
+    budget_seconds: float,
+    *,
+    family: str = DEFAULT_FAMILY,
+    seed: int = 7,
+    start_n: int = 64,
+    max_n: int = 16384,
+    probe: Optional[Probe] = None,
+) -> Dict[str, object]:
+    """One ladder entry: the measured capacity of a single algorithm."""
+    from ..algorithms import get_spec
+
+    spec = get_spec(algorithm)
+    if probe is None:
+        probe = build_probe(algorithm, family=family, seed=seed)
+    capacity, probes = largest_n_within_budget(
+        probe, budget_seconds, start_n=start_n, max_n=max_n
+    )
+    return {
+        "max_practical_vertices": capacity,
+        # False when the search window (not the budget) stopped the climb:
+        # the algorithm may scale further than max_n.
+        "budget_exhausted": capacity != max_n,
+        "probes": [[n, round(seconds, 4)] for n, seconds in probes],
+        "declared_hint": spec.max_practical_vertices,
+    }
+
+
+def capacity_ladder(
+    budget_seconds: float,
+    *,
+    algorithms: Optional[Iterable[str]] = None,
+    family: str = DEFAULT_FAMILY,
+    seed: int = 7,
+    start_n: int = 64,
+    max_n: int = 16384,
+    probe_factory: Optional[Callable[[str], Probe]] = None,
+) -> Dict[str, object]:
+    """The full measured ladder (every registered algorithm by default)."""
+    from ..algorithms import algorithm_names
+
+    names: Sequence[str] = sorted(algorithms) if algorithms else algorithm_names()
+    entries: Dict[str, object] = {}
+    for name in names:
+        probe = probe_factory(name) if probe_factory is not None else None
+        entries[name] = measure_algorithm_capacity(
+            name,
+            budget_seconds,
+            family=family,
+            seed=seed,
+            start_n=start_n,
+            max_n=max_n,
+            probe=probe,
+        )
+    return {
+        "schema": CAPACITY_SCHEMA,
+        "budget_seconds": budget_seconds,
+        "family": family,
+        "seed": seed,
+        "start_n": start_n,
+        "max_n": max_n,
+        "entries": entries,
+    }
+
+
+def save_ladder(ladder: Dict[str, object], path: Path) -> None:
+    """Write a ladder as stable, diff-friendly JSON."""
+    Path(path).write_text(
+        json.dumps(ladder, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_ladder(path: Path) -> Optional[Dict[str, object]]:
+    """Read a ladder back; ``None`` when missing or not a valid ladder."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != CAPACITY_SCHEMA:
+        return None
+    return data
+
+
+def render_ladder(ladder: Dict[str, object]) -> str:
+    """Human-readable table of a capacity ladder."""
+    from .reporting import render_table
+
+    rows = []
+    entries = ladder.get("entries", {})
+    for name in sorted(entries):
+        entry = entries[name]
+        probes = entry.get("probes", [])
+        rows.append(
+            {
+                "algorithm": name,
+                "measured max n": entry.get("max_practical_vertices"),
+                "declared hint": entry.get("declared_hint"),
+                "probes": len(probes),
+                "slowest probe (s)": max((p[1] for p in probes), default=0.0),
+                "window capped": "" if entry.get("budget_exhausted") else "yes",
+            }
+        )
+    header = (
+        f"capacity ladder: budget {ladder.get('budget_seconds')}s on "
+        f"{ladder.get('family')!r} (seed {ladder.get('seed')}, "
+        f"window {ladder.get('start_n')}..{ladder.get('max_n')})"
+    )
+    return header + "\n" + render_table(rows)

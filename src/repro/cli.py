@@ -11,6 +11,8 @@ Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
     repro experiment figure3 --json out.json
     repro suite list --filter figure
     repro suite run --filter paper --jobs 4 --store .repro-store --resume
+    repro capacity --budget 5
+    repro capacity --budget 5 --json ladder.json --update-defaults
     repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
 
 Sub-commands:
@@ -36,6 +38,12 @@ Sub-commands:
     ``suite run`` executes the selected scenarios through the experiment
     pipeline (``--jobs N`` process-parallel, ``--store DIR`` caches task
     results, ``--resume`` reuses them) and prints the suite manifest.
+``capacity``
+    Measure the capacity ladder: binary-search the largest practical vertex
+    count per registered algorithm under a wall-clock budget (``--budget``
+    seconds per build) and print/save the machine-readable ladder
+    (``--json``); ``--update-defaults`` commits it as the registry's measured
+    ``max_practical_vertices`` hints.
 ``params``
     Print every derived schedule of a parameter setting.
 """
@@ -55,6 +63,12 @@ from .analysis import (
     render_suite_manifest,
     render_table,
     verify_run,
+)
+from .analysis.capacity import (
+    MEASURED_HINTS_PATH,
+    capacity_ladder,
+    render_ladder,
+    save_ladder,
 )
 from .core import SpannerResult, make_parameters
 from .experiments import all_specs, get_spec, run_scenario, run_suite, save_records
@@ -256,6 +270,60 @@ def _cmd_suite_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    if args.budget <= 0:
+        print("--budget must be positive", file=sys.stderr)
+        return 2
+    if args.algorithm:
+        unknown = sorted(set(args.algorithm) - set(algorithms.algorithm_names()))
+        if unknown:
+            names = ", ".join(algorithms.algorithm_names())
+            print(f"unknown algorithms {unknown!r}; choose from: {names}", file=sys.stderr)
+            return 2
+        if args.update_defaults:
+            print(
+                "--update-defaults requires a full ladder (no --algorithm filter)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.update_defaults:
+        # The committed hints gate every scenario matrix; refuse to overwrite
+        # them from a quick-mode (narrow-window / tiny-budget / off-family)
+        # measurement, which would silently cap every algorithm.
+        problems = []
+        if args.budget < 1.0:
+            problems.append(f"--budget {args.budget} < 1.0s")
+        if args.family != "sparse_gnp":
+            problems.append(f"--family {args.family!r} != 'sparse_gnp'")
+        if args.start_n != 64 or args.max_n < 16384:
+            problems.append(
+                f"window {args.start_n}..{args.max_n} narrower than 64..16384"
+            )
+        if problems:
+            print(
+                "--update-defaults requires reference measurement settings: "
+                + "; ".join(problems),
+                file=sys.stderr,
+            )
+            return 2
+    ladder = capacity_ladder(
+        args.budget,
+        algorithms=args.algorithm or None,
+        family=args.family,
+        seed=args.seed,
+        start_n=args.start_n,
+        max_n=args.max_n,
+    )
+    print(render_ladder(ladder))
+    if args.json:
+        save_ladder(ladder, Path(args.json))
+        print(f"ladder saved to {args.json}")
+    if args.update_defaults:
+        save_ladder(ladder, MEASURED_HINTS_PATH)
+        print(f"measured hints written to {MEASURED_HINTS_PATH}")
+    return 0
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     parameters = _parameters_from_args(args)
     info = parameters.describe(args.size)
@@ -341,6 +409,40 @@ def build_argument_parser() -> argparse.ArgumentParser:
     suite_run_parser.add_argument("--manifest", type=str, default=None, help="file to save the suite manifest as JSON")
     suite_run_parser.add_argument("--render", action="store_true", help="print every record, not just the manifest")
     suite_run_parser.set_defaults(handler=_cmd_suite_run)
+
+    capacity_parser = subparsers.add_parser(
+        "capacity",
+        help="measure the largest practical n per algorithm under a time budget",
+    )
+    capacity_parser.add_argument(
+        "--budget", type=float, default=5.0, help="wall-clock budget per build, in seconds"
+    )
+    capacity_parser.add_argument(
+        "--algorithm",
+        action="append",
+        help="measure only this registered algorithm (repeatable; default: all)",
+    )
+    capacity_parser.add_argument(
+        "--family", type=str, default="sparse_gnp",
+        choices=sorted(WORKLOAD_FAMILIES),
+        help="workload family the probes build on",
+    )
+    capacity_parser.add_argument("--seed", type=int, default=7)
+    capacity_parser.add_argument(
+        "--start-n", type=int, default=64, help="first probed vertex count"
+    )
+    capacity_parser.add_argument(
+        "--max-n", type=int, default=16384, help="search-window ceiling"
+    )
+    capacity_parser.add_argument(
+        "--json", type=str, default=None, help="save the machine-readable ladder"
+    )
+    capacity_parser.add_argument(
+        "--update-defaults",
+        action="store_true",
+        help="write the ladder to the registry's measured-hints file",
+    )
+    capacity_parser.set_defaults(handler=_cmd_capacity)
 
     params_parser = subparsers.add_parser("params", help="print the derived parameter schedules")
     params_parser.add_argument("--size", type=int, default=None, help="evaluate n-dependent bounds at this n")

@@ -38,7 +38,7 @@ class NodeContext:
         "_outbox",
         "_max_words",
         "_neighbor_set",
-        "_neighbor_inboxes",
+        "_neighbor_pairs",
         "_pending",
         "_dup_possible",
     )
@@ -50,10 +50,11 @@ class NodeContext:
         self.round_index = 0
         self._outbox: List[Tuple[int, Message]] = []
         self._max_words = max_words_per_message
-        # Per-neighbour inbox lists resolved by the simulator at context-build
-        # time (parallel to ``neighbors``); broadcast delivery zips these
-        # instead of indexing the global inbox table per neighbour.
-        self._neighbor_inboxes: Tuple[List[Message], ...] = ()
+        # ``(neighbor, inbox)`` pairs resolved by the simulator at
+        # context-build time (ascending neighbour order); broadcast delivery
+        # iterates this one prebuilt tuple instead of re-zipping the
+        # neighbour list against the global inbox table per broadcast.
+        self._neighbor_pairs: Tuple[Tuple[int, List[Message]], ...] = ()
         # Shared per-round sender registry (installed by the simulator): a
         # context appends itself on the round's first queueing, so delivery
         # drains exactly the nodes that sent instead of scanning all that ran.

@@ -112,12 +112,13 @@ class Simulator:
                 NodeContext(v, rows[v], max_words) for v in range(self.graph.num_vertices)
             ]
             inboxes = [[] for _ in range(self.graph.num_vertices)]
-            # Pre-resolve each node's neighbour inboxes (parallel to its
-            # neighbour tuple) so broadcast delivery zips instead of indexing
-            # the global inbox table, and install the shared sender registry.
+            # Pre-resolve each node's (neighbour, inbox) pairs so broadcast
+            # delivery iterates one prebuilt tuple instead of zipping the
+            # neighbour list against the global inbox table per broadcast,
+            # and install the shared sender registry.
             pending: List[NodeContext] = []
             for ctx in contexts:
-                ctx._neighbor_inboxes = tuple(inboxes[nb] for nb in ctx.neighbors)
+                ctx._neighbor_pairs = tuple((nb, inboxes[nb]) for nb in ctx.neighbors)
                 ctx._pending = pending
             self._contexts = contexts
             self._inboxes = inboxes
@@ -378,19 +379,18 @@ class Simulator:
                 continue
             if not ctx._dup_possible:
                 # Single send or single broadcast: destinations are distinct,
-                # so per-edge congestion is exactly 1 and no audit is needed.
+                # so per-edge congestion is exactly 1 and no audit is needed
+                # (the congestion floor is applied once after the loop).
                 neighbor, message = outbox[0]
                 if neighbor == BROADCAST_DEST:
-                    targets = ctx._neighbor_inboxes
-                    if targets:
-                        messages += len(targets)
-                        words += message.words * len(targets)
-                        for nb, inbox in zip(ctx.neighbors, targets):
+                    pairs = ctx._neighbor_pairs
+                    if pairs:
+                        messages += len(pairs)
+                        words += message.words * len(pairs)
+                        for nb, inbox in pairs:
                             if not inbox:
                                 add_receiver(nb)
                             inbox.append(message)
-                        if max_congestion < 1:
-                            max_congestion = 1
                 else:
                     messages += 1
                     words += message.words
@@ -398,8 +398,6 @@ class Simulator:
                     if not inbox:
                         add_receiver(neighbor)
                     inbox.append(message)
-                    if max_congestion < 1:
-                        max_congestion = 1
             else:
                 # Multiple queueings in one round: expand broadcasts and audit
                 # per-edge counts (first-occurrence order, grouped by sender,
@@ -409,7 +407,7 @@ class Simulator:
                 for neighbor, message in outbox:
                     if neighbor == BROADCAST_DEST:
                         message_words = message.words
-                        for nb, inbox in zip(ctx.neighbors, ctx._neighbor_inboxes):
+                        for nb, inbox in ctx._neighbor_pairs:
                             messages += 1
                             words += message_words
                             if not inbox:
@@ -435,4 +433,8 @@ class Simulator:
                         violations.append((round_index, ctx.node_id, neighbor, count))
             outbox.clear()
         pending.clear()
+        # Single-send/broadcast deliveries carry congestion exactly 1; apply
+        # the floor once instead of branching per sender inside the loop.
+        if messages and not max_congestion:
+            max_congestion = 1
         return receivers, messages, words, max_congestion, violations

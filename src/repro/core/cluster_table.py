@@ -537,17 +537,33 @@ class ClusterTable:
         return FlatClusters(n, u_centers, u_indptr, u_members, u_local_of)
 
     def retire_all(self) -> FlatClusters:
-        """Retire every live cluster (concluding phase); returns the view."""
-        view = self.snapshot()
+        """Retire every live cluster (concluding phase); returns the view.
+
+        One fused sweep builds the frozen view's CSR buffers *and* clears the
+        table -- the concluding phase walks each member list once instead of
+        snapshotting first and clearing second.
+        """
+        n = self.num_vertices
         cluster_of = self._cluster_of
         center_slot = self._center_slot
         slot_members = self._slot_members
-        for center in self._active_centers:
+        centers = self._active_centers
+        local_of = [-1] * n
+        members: List[int] = []
+        indptr = [0]
+        push_offset = indptr.append
+        for idx, center in enumerate(centers):
             slot = center_slot[center]
-            for v in slot_members[slot]:
+            cluster = slot_members[slot]
+            assert cluster is not None
+            for v in cluster:
+                local_of[v] = idx
                 cluster_of[v] = -1
+            members.extend(cluster)
+            push_offset(len(members))
             slot_members[slot] = None
             center_slot[center] = -1
+        view = FlatClusters(n, list(centers), indptr, members, local_of)
         self._active_centers = []
         self.version += 1
         return view

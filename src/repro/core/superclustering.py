@@ -82,7 +82,13 @@ def deterministic_forest(
                     root[v] = ru
                     parent[v] = u
                     push(v)
-        next_frontier.sort(key=lambda v: (root[v], v))
+        # Order the level by (root[v], v) without a per-element lambda tuple:
+        # plain sort by id, then a stable sort on the root alone (a C-level
+        # key).  Vertices were pushed grouped by their parent's root, which is
+        # non-decreasing along the expanded frontier, so the second pass runs
+        # over an almost-sorted key sequence.
+        next_frontier.sort()
+        next_frontier.sort(key=root.__getitem__)
         frontier = next_frontier
     return root, dist, parent
 

@@ -209,6 +209,54 @@ MULTI_COMPONENT_SPEC = register(
 )
 
 
+#: Scale-tier families (PR 5): the large-n generator families, measured at
+#: sizes the historical suite never reached.  Each generator is O(n + m), so
+#: these scenarios stay CI-friendly even at four-digit vertex counts.
+POWERLAW_SPEC = register(
+    family_spec(
+        "powerlaw",
+        name="family-powerlaw",
+        description=(
+            "Holme-Kim power-law graphs with tunable clustering: "
+            "preferential-attachment hubs plus triangle closure, at "
+            "scale-tier sizes."
+        ),
+        sizes=(128, 512),
+        seed=41,
+        sample_pairs=100,
+    )
+)
+
+HYPERBOLIC_SPEC = register(
+    family_spec(
+        "hyperbolic",
+        name="family-hyperbolic",
+        description=(
+            "Hyperbolic-like sparse graphs: Chung-Lu power-law hubs plus a "
+            "random angular ring, the scale-tier's heterogeneous workload."
+        ),
+        sizes=(128, 512),
+        algorithms=("new-centralized", "new-distributed"),
+        seed=43,
+        sample_pairs=100,
+    )
+)
+
+TORUS_SPEC = register(
+    family_spec(
+        "torus",
+        name="family-torus",
+        description=(
+            "2-D tori (batched lattice generation): the canonical "
+            "large-diameter regular workload at scale-tier sizes."
+        ),
+        sizes=(256, 1024),
+        seed=47,
+        sample_pairs=100,
+    )
+)
+
+
 def run_family(name: str) -> ExperimentRecord:
     """Run one registered family scenario through the pipeline."""
     from .pipeline import run_scenario

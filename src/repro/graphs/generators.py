@@ -19,10 +19,11 @@ The families below cover the workloads the paper's setting cares about:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .graph import Graph
+from .graph import Edge, Graph
 
 
 def empty_graph(num_vertices: int) -> Graph:
@@ -73,27 +74,38 @@ def complete_bipartite_graph(left: int, right: int) -> Graph:
 
 
 def grid_graph(rows: int, cols: int) -> Graph:
-    """The ``rows x cols`` grid (4-neighbour lattice)."""
-    g = Graph(rows * cols)
+    """The ``rows x cols`` grid (4-neighbour lattice).
+
+    Built as one batched :meth:`Graph.add_edges` call: the edge list is
+    assembled up front so the graph pays a single snapshot invalidation
+    instead of one per edge (the large-n scale-tier contract).
+    """
+    edges: List[Edge] = []
+    push = edges.append
     for r in range(rows):
+        base = r * cols
         for c in range(cols):
-            v = r * cols + c
+            v = base + c
             if c + 1 < cols:
-                g.add_edge(v, v + 1)
+                push((v, v + 1))
             if r + 1 < rows:
-                g.add_edge(v, v + cols)
+                push((v, v + cols))
+    g = Graph(rows * cols)
+    g.add_edges(edges)
     return g
 
 
 def torus_graph(rows: int, cols: int) -> Graph:
-    """The ``rows x cols`` torus (grid with wrap-around)."""
+    """The ``rows x cols`` torus (grid with wrap-around), batched like the grid."""
     g = grid_graph(rows, cols)
+    edges: List[Edge] = []
     if cols >= 3:
         for r in range(rows):
-            g.add_edge(r * cols, r * cols + cols - 1)
+            edges.append((r * cols, r * cols + cols - 1))
     if rows >= 3:
         for c in range(cols):
-            g.add_edge(c, (rows - 1) * cols + c)
+            edges.append((c, (rows - 1) * cols + c))
+    g.add_edges(edges)
     return g
 
 
@@ -440,6 +452,192 @@ def add_random_perturbation(graph: Graph, num_extra_edges: int, seed: int = 0) -
     return g
 
 
+# ----------------------------------------------------------------------
+# Scale-tier generators (PR 5): O(n + m) expected work, batched insertion
+# ----------------------------------------------------------------------
+def sparse_gnp_random_graph(num_vertices: int, edge_probability: float, seed: int = 0) -> Graph:
+    """Erdos-Renyi G(n, p) by geometric skip sampling: O(n + m) expected.
+
+    :func:`gnp_random_graph` draws one uniform per vertex pair -- O(n^2) --
+    which caps it at a few thousand vertices.  This variant jumps straight
+    from one present edge to the next by sampling the skip length from the
+    geometric distribution, so sparse 10k-vertex workloads generate in
+    milliseconds.  The two functions draw *different* graphs for the same
+    seed (different sampling order); large-n scenarios use this one, the
+    historical workloads keep their pinned :func:`gnp_random_graph` inputs.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    g = Graph(num_vertices)
+    if edge_probability == 0.0 or num_vertices < 2:
+        return g
+    if edge_probability >= 1.0:
+        return complete_graph(num_vertices)
+    rng = random.Random(seed)
+    log_q = math.log(1.0 - edge_probability)
+    edges: List[Edge] = []
+    push = edges.append
+    # Walk the strictly-lower-triangle pair space (v, w) with w < v, skipping
+    # a geometric number of absent pairs between consecutive present edges.
+    v = 1
+    w = -1
+    rand = rng.random
+    while v < num_vertices:
+        w += 1 + int(math.log(1.0 - rand()) / log_q)
+        while w >= v and v < num_vertices:
+            w -= v
+            v += 1
+        if v < num_vertices:
+            push((w, v))
+    g.add_edges(edges)
+    return g
+
+
+def powerlaw_cluster_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 2,
+    triangle_probability: float = 0.3,
+    seed: int = 0,
+) -> Graph:
+    """Holme-Kim style power-law graph with tunable clustering.
+
+    Grows by preferential attachment (each arrival wires ``edges_per_vertex``
+    edges to endpoints sampled proportionally to degree) and, with probability
+    ``triangle_probability`` per additional edge, closes a triangle with a
+    neighbour of the previous target instead.  Degrees follow a power law as
+    in :func:`preferential_attachment_graph` while the triangle steps give the
+    local clustering real networks show.  Built through one batched
+    :meth:`Graph.add_edges` call.  A preferential step is O(1); a triangle
+    step scans the previous target's neighbourhood in deterministic sorted
+    order (O(deg log deg), size-biased toward hubs), so generation is O(m)
+    plus the triangle terms -- sub-second at scale-tier sizes for moderate
+    ``triangle_probability``.
+    """
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise ValueError("triangle_probability must be in [0, 1]")
+    g = Graph(num_vertices)
+    if num_vertices < 2:
+        return g
+    rng = random.Random(seed)
+    rand = rng.random
+    # ``repeated`` lists every edge endpoint twice: sampling an index uniformly
+    # is sampling a vertex proportionally to its degree.
+    repeated: List[int] = [0]
+    adjacency: List[set] = [set() for _ in range(num_vertices)]
+    edges: List[Edge] = []
+    for v in range(1, num_vertices):
+        wanted = min(edges_per_vertex, v)
+        adj_v = adjacency[v]
+        previous_target: Optional[int] = None
+        while len(adj_v) < wanted:
+            if (
+                previous_target is not None
+                and rand() < triangle_probability
+                and adjacency[previous_target]
+            ):
+                # Triangle step: attach to a degree-weighted neighbour of the
+                # previous target (closing v - previous_target - u).  The
+                # candidate list is built in sorted order: iterating the raw
+                # set would tie the generated stream to CPython's set
+                # internals, breaking cross-version determinism.
+                candidates = [
+                    u
+                    for u in sorted(adjacency[previous_target])
+                    if u != v and u not in adj_v
+                ]
+                if candidates:
+                    u = candidates[rng.randrange(len(candidates))]
+                else:
+                    u = repeated[rng.randrange(len(repeated))]
+            else:
+                u = repeated[rng.randrange(len(repeated))]
+            if u == v or u in adj_v:
+                continue
+            adj_v.add(u)
+            adjacency[u].add(v)
+            edges.append((u, v))
+            repeated.append(u)
+            repeated.append(v)
+            previous_target = u
+    g.add_edges(edges)
+    return g
+
+
+def hyperbolic_like_graph(
+    num_vertices: int,
+    avg_degree: float = 6.0,
+    gamma: float = 2.5,
+    seed: int = 0,
+) -> Graph:
+    """Hyperbolic-like sparse graph: power-law hubs plus ring locality.
+
+    Random hyperbolic graphs combine a heavy-tailed degree distribution
+    (radial coordinate) with geometric locality (angular coordinate).  This
+    generator reproduces both ingredients in O(n + m) expected time:
+
+    * vertex ``v`` gets the deterministic power-law weight
+      ``w_v ~ (v + 1)^{-1/(gamma - 1)}`` scaled so the expected average degree
+      is ``avg_degree`` -- vertex 0 is the biggest hub;
+    * long-range edges are drawn Chung-Lu style (``P[u ~ v] ~ w_u w_v``) with
+      geometric skip sampling over the descending weight order;
+    * a seeded random circular order contributes one ring of "angular
+      neighbour" edges, giving every vertex local structure independent of
+      its weight.
+
+    The result is connected-ish, sparse, small-diameter-through-hubs yet
+    locally path-like -- the regime the paper's near-additive guarantees
+    target on large inputs.
+    """
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    if gamma <= 2.0:
+        raise ValueError("gamma must be > 2 (finite mean degree)")
+    g = Graph(num_vertices)
+    if num_vertices < 2:
+        return g
+    rng = random.Random(seed)
+    rand = rng.random
+    exponent = -1.0 / (gamma - 1.0)
+    weights = [float(v + 1) ** exponent for v in range(num_vertices)]
+    total = sum(weights)
+    # Scale so sum of expected degrees = avg_degree * n: with
+    # P[u ~ v] = w_u w_v / S and S = (sum w)^2 / (avg_degree * n), the
+    # expected degree of v is ~ avg_degree * n * w_v / sum(w).
+    ring_budget = 2.0  # the ring contributes exactly degree 2 per vertex
+    chung_lu_degree = max(0.0, avg_degree - ring_budget)
+    edges: List[Edge] = []
+    if chung_lu_degree > 0:
+        s_norm = (total * total) / (chung_lu_degree * num_vertices)
+        push = edges.append
+        for u in range(num_vertices - 1):
+            w_u = weights[u]
+            v = u + 1
+            p = min(1.0, w_u * weights[v] / s_norm)
+            while v < num_vertices and p > 0.0:
+                if p < 1.0:
+                    # 1 - rand() lies in (0, 1]: rand() itself can return
+                    # exactly 0.0, whose log would blow up the skip draw.
+                    v += int(math.log(1.0 - rand()) / math.log(1.0 - p))
+                if v < num_vertices:
+                    q = min(1.0, w_u * weights[v] / s_norm)
+                    if rand() < q / p:
+                        push((u, v))
+                    p = q
+                    v += 1
+    # Angular ring: a seeded circular order independent of the weights.
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(num_vertices):
+        a = order[i]
+        b = order[(i + 1) % num_vertices]
+        if a != b:
+            edges.append((a, b) if a < b else (b, a))
+    g.add_edges(edges)
+    return g
+
+
 WORKLOAD_FAMILIES: Tuple[str, ...] = (
     "gnp",
     "gnm",
@@ -460,6 +658,9 @@ WORKLOAD_FAMILIES: Tuple[str, ...] = (
     "small_world",
     "geometric",
     "multi_component",
+    "sparse_gnp",
+    "powerlaw",
+    "hyperbolic",
 )
 
 
@@ -528,4 +729,21 @@ def make_workload(family: str, size: int, seed: int = 0, **kwargs) -> Graph:
         components = kwargs.get("components", max(2, size // 24))
         component_size = max(3, size // components)
         return multi_component_graph(components, component_size, seed=seed)
+    if family == "sparse_gnp":
+        p = kwargs.get("p", min(1.0, 4.0 / max(size - 1, 1)))
+        return sparse_gnp_random_graph(size, p, seed=seed)
+    if family == "powerlaw":
+        return powerlaw_cluster_graph(
+            size,
+            edges_per_vertex=kwargs.get("m", 2),
+            triangle_probability=kwargs.get("triangle_probability", 0.3),
+            seed=seed,
+        )
+    if family == "hyperbolic":
+        return hyperbolic_like_graph(
+            size,
+            avg_degree=kwargs.get("avg_degree", 6.0),
+            gamma=kwargs.get("gamma", 2.5),
+            seed=seed,
+        )
     raise ValueError(f"unknown workload family: {family!r}")

@@ -108,13 +108,13 @@ class _ForestProgram(NodeProgram):
         if self.root is not None:
             return
         # Adopt the best announcement: smallest distance, then smallest root,
-        # then smallest parent -- deterministic tie breaking.
+        # then smallest parent -- deterministic tie breaking.  (Messages are
+        # NamedTuples; unpacking skips the per-message attribute reads.)
         best: Optional[Tuple[int, int, int]] = None
-        for message in inbox:
-            content = message.content
+        for sender, content, _ in inbox:
             if content[0] != FOREST_TAG:
                 continue
-            candidate = (content[2] + 1, content[1], message.sender)
+            candidate = (content[2] + 1, content[1], sender)
             if best is None or candidate < best:
                 best = candidate
         if best is None:

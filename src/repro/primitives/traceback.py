@@ -288,8 +288,8 @@ def centralized_traceback_flat(
     """Trace-back over a flat-array :class:`~repro.primitives.exploration.CenterExploration`.
 
     Walks each requested ``initiator -> target`` shortest path along the
-    target's dense parent array; the chains (and hence the produced edge set)
-    are identical to :func:`centralized_traceback` over the exhaustive
+    target's dense parent array; the chains (and hence the produced edge
+    set) are identical to :func:`centralized_traceback` over the exhaustive
     knowledge maps.  Depth-1 explorations carry no parent arrays (see
     :class:`~repro.primitives.exploration.CenterExploration`): each path is
     the single edge ``(initiator, target)``, emitted directly.

@@ -57,15 +57,37 @@ class TestBuiltinRegistry:
         assert names[:2] == ["new-centralized", "new-distributed"]
 
     def test_select_consults_capability_hints(self):
-        # greedy caps at 400 and the distributed engine at 300 vertices; the
-        # capability hint replaces the old hard-coded size rules.
-        names_small = {spec.name for spec in select(max_vertices=200)}
-        assert {"greedy", "new-distributed"} <= names_small
-        names_mid = {spec.name for spec in select(max_vertices=350)}
-        assert "new-distributed" not in names_mid
-        assert "greedy" in names_mid
-        names_large = {spec.name for spec in select(max_vertices=500)}
-        assert "greedy" not in names_large
+        # The committed measured ladder (src/repro/algorithms/CAPACITY.json)
+        # gives every registered algorithm a finite max_practical_vertices
+        # hint; select() must gate on the hints uniformly, whatever their
+        # measured values are on the reference machine.
+        specs = algorithms.all_specs()
+        assert all(spec.max_practical_vertices for spec in specs)
+        bounded = min(specs, key=lambda spec: spec.max_practical_vertices)
+        cap = bounded.max_practical_vertices
+        assert bounded.name in {spec.name for spec in select(max_vertices=cap)}
+        assert bounded.name not in {
+            spec.name for spec in select(max_vertices=cap + 1)
+        }
+        # Everything is practical at toy sizes.
+        assert {spec.name for spec in select(max_vertices=50)} == {
+            spec.name for spec in specs
+        }
+
+    def test_measured_hints_come_from_committed_ladder(self):
+        # The hand-set fallbacks (greedy 400, distributed 300) must have been
+        # replaced by the committed capacity-ladder measurements.
+        from repro.algorithms.builtin import (
+            MEASURED_CAPACITY_PATH,
+            measured_capacity_hints,
+        )
+
+        ladder = json.loads(MEASURED_CAPACITY_PATH.read_text(encoding="utf-8"))
+        assert ladder["schema"] == "capacity-ladder/v1"
+        hints = measured_capacity_hints()
+        assert set(hints) == set(ladder["entries"]) == EXPECTED_ALGORITHMS
+        for name, spec in ((s.name, s) for s in algorithms.all_specs()):
+            assert spec.max_practical_vertices == hints[name]
 
     def test_duplicate_registration_rejected(self):
         # Registered under a throwaway name and removed again: leaking a test

@@ -1,0 +1,140 @@
+"""Tests for the measured capacity ladder (:mod:`repro.analysis.capacity`).
+
+The search core is exercised on *synthetic* timing functions -- no spanner is
+ever built -- so the doubling/contraction/binary-search logic is pinned
+exactly, including its probe economy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms import algorithm_names
+from repro.analysis.capacity import (
+    CAPACITY_SCHEMA,
+    capacity_ladder,
+    largest_n_within_budget,
+    load_ladder,
+    measure_algorithm_capacity,
+    render_ladder,
+    save_ladder,
+)
+
+
+def linear_cost(scale: float):
+    """A probe whose cost grows linearly: probe(n) = n / scale seconds."""
+    return lambda n: n / scale
+
+
+class TestLargestNWithinBudget:
+    def test_linear_probe_finds_budget_boundary(self):
+        # budget 1.0s at 1000 n/s => true capacity 1000; the search must land
+        # within the declared 12.5% resolution, never above the true value.
+        capacity, probes = largest_n_within_budget(
+            linear_cost(1000.0), 1.0, start_n=64, max_n=16384
+        )
+        assert 875 <= capacity <= 1000
+        assert all(seconds == n / 1000.0 for n, seconds in probes)
+
+    def test_capacity_is_never_over_budget(self):
+        for scale in (100.0, 333.0, 1000.0, 5000.0):
+            capacity, _ = largest_n_within_budget(
+                linear_cost(scale), 1.0, start_n=64, max_n=16384
+            )
+            assert capacity / scale <= 1.0
+            assert capacity >= 16  # at least the floor when anything fits
+
+    def test_window_cap_when_budget_never_exhausted(self):
+        capacity, probes = largest_n_within_budget(
+            lambda n: 0.001, 1.0, start_n=64, max_n=4096
+        )
+        assert capacity == 4096
+        # Pure doubling: 64, 128, ..., 4096 -- no binary search needed.
+        assert [n for n, _ in probes] == [64, 128, 256, 512, 1024, 2048, 4096]
+
+    def test_contraction_when_start_is_over_budget(self):
+        # capacity ~ 100 but the search starts at 1024: it must contract.
+        capacity, probes = largest_n_within_budget(
+            linear_cost(100.0), 1.0, start_n=1024, max_n=4096
+        )
+        assert 64 <= capacity <= 100
+        assert probes[0][0] == 1024 and probes[0][1] > 1.0
+
+    def test_nothing_fits_returns_zero(self):
+        capacity, probes = largest_n_within_budget(
+            lambda n: 10.0, 1.0, start_n=256, max_n=1024
+        )
+        assert capacity == 0
+        # Contracted down to the floor and gave up.
+        assert probes[-1][0] == 16
+
+    def test_step_cost_function(self):
+        # A cliff at n=600: constant cheap below, hopeless above.
+        capacity, _ = largest_n_within_budget(
+            lambda n: 0.01 if n <= 600 else 99.0, 1.0, start_n=64, max_n=16384
+        )
+        assert 512 <= capacity <= 600
+
+    def test_probe_economy_is_logarithmic(self):
+        _, probes = largest_n_within_budget(
+            linear_cost(3000.0), 1.0, start_n=64, max_n=1 << 20
+        )
+        assert len(probes) <= 20
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            largest_n_within_budget(linear_cost(1.0), 0.0)
+        with pytest.raises(ValueError):
+            largest_n_within_budget(linear_cost(1.0), 1.0, start_n=8, max_n=4)
+
+
+class TestLadder:
+    def test_measure_algorithm_capacity_uses_injected_probe(self):
+        entry = measure_algorithm_capacity(
+            "greedy", 1.0, probe=linear_cost(500.0), start_n=64, max_n=8192
+        )
+        assert 400 <= entry["max_practical_vertices"] <= 500
+        assert entry["budget_exhausted"] is True
+        assert entry["probes"]
+        assert entry["declared_hint"]  # the registered (measured) hint
+
+    def test_capacity_ladder_covers_every_registered_algorithm(self):
+        ladder = capacity_ladder(
+            1.0,
+            probe_factory=lambda name: linear_cost(1000.0),
+            start_n=64,
+            max_n=2048,
+        )
+        assert ladder["schema"] == CAPACITY_SCHEMA
+        assert set(ladder["entries"]) == set(algorithm_names())
+        for entry in ladder["entries"].values():
+            assert 875 <= entry["max_practical_vertices"] <= 1000
+
+    def test_ladder_roundtrip_and_render(self, tmp_path):
+        ladder = capacity_ladder(
+            2.0,
+            algorithms=["greedy", "new-distributed"],
+            probe_factory=lambda name: linear_cost(100.0),
+            start_n=64,
+            max_n=512,
+        )
+        path = tmp_path / "ladder.json"
+        save_ladder(ladder, path)
+        loaded = load_ladder(path)
+        assert loaded == json.loads(path.read_text())
+        assert set(loaded["entries"]) == {"greedy", "new-distributed"}
+        rendered = render_ladder(loaded)
+        assert "greedy" in rendered and "new-distributed" in rendered
+        assert "budget 2.0s" in rendered
+
+    def test_load_ladder_rejects_junk(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert load_ladder(missing) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        assert load_ladder(bad) is None
+        wrong_schema = tmp_path / "wrong.json"
+        wrong_schema.write_text(json.dumps({"schema": "other/v9"}), encoding="utf-8")
+        assert load_ladder(wrong_schema) is None

@@ -46,6 +46,11 @@ EXPECTED_SCENARIOS = {
     "family-small-world",
     "family-geometric",
     "family-multi-component",
+    "family-powerlaw",
+    "family-hyperbolic",
+    "family-torus",
+    "scaling-large",
+    "scaling-growth",
 } | {f"figure{i}" for i in range(1, 9)}
 
 
@@ -72,7 +77,12 @@ class TestBuiltinRegistry:
             "family-small-world",
             "family-geometric",
             "family-multi-component",
+            "family-powerlaw",
+            "family-hyperbolic",
+            "family-torus",
         }
+        scale_tier = {spec.name for spec in all_specs("scale-tier")}
+        assert scale_tier == {"scaling-large", "scaling-growth"}
         by_name = [spec.name for spec in all_specs("table1")]
         assert by_name == ["table1"]
 

@@ -243,3 +243,94 @@ class TestNewFamilies:
 
         with pytest.raises(ValueError):
             multi_component_graph(0, 5)
+
+
+class TestScaleTierFamilies:
+    """The PR 5 large-n generators: O(n + m) batched construction."""
+
+    def test_sparse_gnp_matches_dense_gnp_statistics(self):
+        from repro.graphs import sparse_gnp_random_graph
+
+        # Same distribution as gnp_random_graph (different stream): compare
+        # the mean edge count over a few seeds against the expectation.
+        n, p = 400, 0.02
+        expected = p * n * (n - 1) / 2
+        mean = sum(
+            sparse_gnp_random_graph(n, p, seed=s).num_edges for s in range(8)
+        ) / 8
+        assert 0.8 * expected <= mean <= 1.2 * expected
+
+    def test_sparse_gnp_is_seeded_and_validates(self):
+        from repro.graphs import sparse_gnp_random_graph
+
+        assert sparse_gnp_random_graph(200, 0.05, seed=4) == sparse_gnp_random_graph(
+            200, 0.05, seed=4
+        )
+        assert sparse_gnp_random_graph(200, 0.05, seed=4) != sparse_gnp_random_graph(
+            200, 0.05, seed=5
+        )
+        with pytest.raises(ValueError):
+            sparse_gnp_random_graph(10, 1.5)
+
+    def test_sparse_gnp_extremes(self):
+        from repro.graphs import sparse_gnp_random_graph
+
+        assert sparse_gnp_random_graph(30, 0.0, seed=1).num_edges == 0
+        assert sparse_gnp_random_graph(30, 1.0, seed=1).num_edges == 435
+
+    def test_powerlaw_cluster_edge_count_and_hubs(self):
+        from repro.graphs import powerlaw_cluster_graph
+
+        # Each arriving vertex v wires exactly min(m, v) edges.
+        n, m = 300, 2
+        g = powerlaw_cluster_graph(n, m, 0.3, seed=9)
+        assert g.num_edges == sum(min(m, v) for v in range(1, n))
+        # Preferential attachment concentrates degree far above the mean.
+        assert g.max_degree() >= 5 * (2 * g.num_edges / n)
+
+    def test_powerlaw_cluster_is_seeded_and_validates(self):
+        from repro.graphs import powerlaw_cluster_graph
+
+        assert powerlaw_cluster_graph(120, 2, 0.5, seed=2) == powerlaw_cluster_graph(
+            120, 2, 0.5, seed=2
+        )
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 0)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 2, triangle_probability=1.5)
+
+    def test_hyperbolic_like_is_connected_with_powerlaw_hubs(self):
+        from repro.graphs import hyperbolic_like_graph, num_components
+
+        g = hyperbolic_like_graph(500, avg_degree=6.0, gamma=2.5, seed=3)
+        # The angular ring alone keeps the graph connected.
+        assert num_components(g) == 1
+        # Vertex 0 carries the largest weight: it must be a genuine hub.
+        assert g.degree(0) >= 3 * (2 * g.num_edges / g.num_vertices)
+
+    def test_hyperbolic_like_is_seeded_and_validates(self):
+        from repro.graphs import hyperbolic_like_graph
+
+        assert hyperbolic_like_graph(100, seed=6) == hyperbolic_like_graph(100, seed=6)
+        assert hyperbolic_like_graph(100, seed=6) != hyperbolic_like_graph(100, seed=7)
+        with pytest.raises(ValueError):
+            hyperbolic_like_graph(10, avg_degree=-1.0)
+        with pytest.raises(ValueError):
+            hyperbolic_like_graph(10, gamma=2.0)
+
+    def test_batched_grid_and_torus_shapes_unchanged(self):
+        from repro.graphs import grid_graph, torus_graph
+
+        grid = grid_graph(4, 5)
+        assert grid.num_vertices == 20
+        assert grid.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        torus = torus_graph(4, 5)
+        assert torus.num_edges == grid.num_edges + 4 + 5  # wrap edges
+        assert grid.is_subgraph_of(torus)
+
+    @pytest.mark.parametrize("family", ["sparse_gnp", "powerlaw", "hyperbolic"])
+    def test_scale_tier_workloads_build_through_the_factory(self, family):
+        g = make_workload(family, 256, seed=11)
+        assert g.num_vertices == 256
+        assert g.num_edges >= 256  # sparse but not degenerate
+        assert g == make_workload(family, 256, seed=11)

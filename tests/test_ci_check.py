@@ -1,0 +1,184 @@
+"""Tests for the stage orchestration of ``scripts/ci_check.py``.
+
+The stage commands are never actually executed here: ``subprocess.run`` is
+stubbed out, so the tests pin the *orchestration* -- stage ordering, ``--fast``
+and ``--junitxml`` handling, first-failure short-circuiting, exit-status
+propagation, GitHub Actions annotations and the step-summary table.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CI_CHECK_PATH = REPO_ROOT / "scripts" / "ci_check.py"
+
+EXPECTED_STAGE_ORDER = [
+    "tier-1 tests",
+    "golden counters",
+    "phase micro-benchmarks (quick mode)",
+    "capacity ladder (quick mode)",
+    "experiments-md drift",
+]
+
+
+@pytest.fixture(scope="module")
+def ci_check():
+    spec = importlib.util.spec_from_file_location("ci_check_under_test", CI_CHECK_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # The dataclass machinery resolves string annotations through
+    # sys.modules[cls.__module__], so the module must be registered before
+    # execution.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.fixture()
+def no_github(monkeypatch):
+    monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+
+
+def _args(**overrides):
+    base = {"fast": False, "junitxml": None, "snapshot": None}
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class FakeRun:
+    """subprocess.run stub recording commands and scripting exit codes."""
+
+    def __init__(self, returncodes=None):
+        self.calls = []
+        self.returncodes = dict(returncodes or {})
+
+    def __call__(self, cmd, cwd=None, env=None):
+        self.calls.append(list(cmd))
+        for needle, code in self.returncodes.items():
+            if any(needle in part for part in cmd):
+                return SimpleNamespace(returncode=code)
+        return SimpleNamespace(returncode=0)
+
+
+class TestStagePlan:
+    def test_stage_order_and_names(self, ci_check):
+        plan = ci_check.stage_plan(_args(), "snap.json")
+        assert [name for name, _ in plan] == EXPECTED_STAGE_ORDER
+        assert all(cmd is not None for _, cmd in plan)
+
+    def test_fast_skips_only_the_pytest_stage(self, ci_check):
+        plan = ci_check.stage_plan(_args(fast=True), "snap.json")
+        assert [name for name, _ in plan] == EXPECTED_STAGE_ORDER
+        commands = dict(plan)
+        assert commands["tier-1 tests"] is None
+        assert all(
+            commands[name] is not None for name in EXPECTED_STAGE_ORDER[1:]
+        )
+
+    def test_junitxml_passes_through_to_pytest_stage_only(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(junitxml="report.xml"), "snap.json"))
+        assert "--junitxml=report.xml" in plan["tier-1 tests"]
+        for name in EXPECTED_STAGE_ORDER[1:]:
+            assert not any("junitxml" in part for part in plan[name])
+
+    def test_snapshot_path_reaches_the_golden_stage(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "kept-snapshot.json"))
+        golden = plan["golden counters"]
+        assert "kept-snapshot.json" in golden
+        assert str(REPO_ROOT / "BENCH_seed.json") in golden
+
+    def test_capacity_stage_is_quick_mode(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        capacity = plan["capacity ladder (quick mode)"]
+        assert "capacity" in capacity
+        assert ci_check.QUICK_CAPACITY_BUDGET in capacity
+        assert ci_check.QUICK_CAPACITY_MAX_N in capacity
+
+
+class TestMainOrchestration:
+    def test_all_stages_pass(self, ci_check, monkeypatch, capsys, no_github):
+        fake = FakeRun()
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        assert ci_check.main([]) == 0
+        # One executed command per stage, in the declared order.
+        assert len(fake.calls) == len(EXPECTED_STAGE_ORDER)
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_fast_mode_runs_everything_but_pytest(self, ci_check, monkeypatch, capsys, no_github):
+        fake = FakeRun()
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        assert ci_check.main(["--fast"]) == 0
+        assert len(fake.calls) == len(EXPECTED_STAGE_ORDER) - 1
+        assert not any("pytest" in call[2] if len(call) > 2 else False for call in fake.calls[:1])
+        out = capsys.readouterr().out
+        assert "tier-1 tests: skipped" in out
+
+    def test_nonzero_stage_fails_run_and_skips_the_rest(self, ci_check, monkeypatch, capsys, no_github):
+        fake = FakeRun(returncodes={"bench_compare.py": 3})
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        assert ci_check.main([]) == 1
+        # tier-1 + golden ran; the three later stages were skipped.
+        assert len(fake.calls) == 2
+        out = capsys.readouterr().out
+        assert "FAILED (exit 3)" in out
+        assert "phase micro-benchmarks (quick mode): skipped (earlier stage failed)" in out
+        assert "CHECKS FAILED" in out
+
+    def test_snapshot_file_is_kept_when_requested(self, ci_check, monkeypatch, tmp_path, no_github):
+        fake = FakeRun()
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        snapshot = tmp_path / "golden.json"
+        snapshot.write_text("{}", encoding="utf-8")
+        assert ci_check.main(["--snapshot", str(snapshot)]) == 0
+        assert snapshot.exists()
+        golden_call = fake.calls[1]
+        assert str(snapshot) in golden_call
+
+
+class TestGithubIntegration:
+    def test_annotations_emitted_under_github_actions(self, ci_check, monkeypatch, capsys):
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        fake = FakeRun(returncodes={"generate_experiments_md.py": 2})
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        assert ci_check.main([]) == 1
+        out = capsys.readouterr().out
+        assert "::group::tier-1 tests" in out
+        assert "::endgroup::" in out
+        assert "::error title=ci_check stage failed::" in out
+        assert "'experiments-md drift'" in out
+
+    def test_step_summary_table_written(self, ci_check, monkeypatch, tmp_path, capsys):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        fake = FakeRun(returncodes={"bench_phases.py": 1})
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        assert ci_check.main(["--fast"]) == 1
+        text = summary.read_text(encoding="utf-8")
+        assert "### ci_check stage outcomes" in text
+        assert "| tier-1 tests | ⏭️ skipped | - |" in text
+        assert "❌ failed | 1" in text
+        # Stages after the failure are reported as skipped.
+        assert text.count("skipped") >= 3
+
+    def test_render_step_summary_is_one_row_per_stage(self, ci_check):
+        results = [
+            ci_check.StageResult(name="a", status="ok", returncode=0, seconds=1.0),
+            ci_check.StageResult(name="b", status="failed", returncode=2, seconds=0.5),
+            ci_check.StageResult(name="c", status="skipped"),
+        ]
+        table = ci_check.render_step_summary(results)
+        assert table.count("\n| ") >= 3
+        assert "| a | ✅ ok | 0 | 1.0 |" in table
+        assert "| b | ❌ failed | 2 | 0.5 |" in table
+        assert "| c | ⏭️ skipped | - | 0.0 |" in table

@@ -173,3 +173,33 @@ def test_suite_run_with_store_and_resume(tmp_path, capsys):
     manifest = json.loads(manifest_path.read_text())
     assert manifest["total_computed"] == 0
     assert manifest["total_cache_hits"] == manifest["total_tasks"]
+
+
+def test_capacity_command_emits_ladder(tmp_path, capsys):
+    ladder_path = tmp_path / "ladder.json"
+    exit_code = main([
+        "capacity", "--budget", "0.3", "--algorithm", "new-centralized",
+        "--start-n", "32", "--max-n", "64", "--json", str(ladder_path),
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "capacity ladder" in output
+    assert "new-centralized" in output
+    ladder = json.loads(ladder_path.read_text())
+    assert ladder["schema"] == "capacity-ladder/v1"
+    entry = ladder["entries"]["new-centralized"]
+    assert entry["max_practical_vertices"] >= 32
+    assert entry["probes"]
+
+
+def test_capacity_command_rejects_bad_input(capsys):
+    assert main(["capacity", "--budget", "0"]) == 2
+    assert main(["capacity", "--algorithm", "no-such-algo"]) == 2
+    # --update-defaults needs the full ladder, not a filtered one.
+    assert (
+        main([
+            "capacity", "--budget", "0.2", "--algorithm", "greedy",
+            "--start-n", "32", "--max-n", "32", "--update-defaults",
+        ])
+        == 2
+    )
