@@ -15,7 +15,14 @@ Runs, in order (see :func:`stage_plan`):
 4. ``capacity ladder (quick mode)`` -- ``repro capacity`` on a tiny budget
    and window: exercises the measured-capacity search and its CLI end to end
    on every push without paying real measurement time.
-5. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
+5. ``fault injection (quick mode)`` -- ``repro chaos`` over the
+   chaos-primitives matrix with a wall-clock task timeout: every injected
+   fault schedule must terminate in a typed outcome (the scenario checks
+   enforce it) and the failure manifest must validate against its schema.
+6. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
+   cached task entry, then prove the store invalidates it, recomputes exactly
+   that task on resume, and reproduces a byte-identical record.
+7. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
    current algorithm/scenario registries.
 
 Stages run sequentially and the first failure stops the run (later stages
@@ -49,6 +56,11 @@ SRC = REPO_ROOT / "src"
 QUICK_CAPACITY_BUDGET = "0.2"
 QUICK_CAPACITY_MAX_N = "128"
 QUICK_CAPACITY_START_N = "32"
+
+#: Wall-clock limit of the quick-mode chaos stage's tasks: generous (the
+#: whole matrix runs in well under a second) but finite, so a wedged fault
+#: schedule quarantines instead of hanging CI.
+QUICK_CHAOS_TASK_TIMEOUT = "120"
 
 
 @dataclass
@@ -127,6 +139,29 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
                 QUICK_CAPACITY_START_N,
                 "--max-n",
                 QUICK_CAPACITY_MAX_N,
+            ],
+        ),
+        (
+            "fault injection (quick mode)",
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "chaos",
+                "--scenario",
+                "chaos-primitives",
+                "--task-timeout",
+                QUICK_CHAOS_TASK_TIMEOUT,
+            ],
+        ),
+        (
+            "store-corruption smoke",
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "chaos",
+                "--store-smoke",
             ],
         ),
         (

@@ -63,6 +63,8 @@ PAPER_CLAIMS = {
     "family-torus": "Scale-tier family: 2-D tori at four-digit sizes; the canonical large-diameter regular regime where near-additive spanners beat multiplicative ones.",
     "scaling-large": "Scale tier: the Corollary 2.9 / 2.13 round and size exponents re-fitted at n up to 4096 on the O(n+m) skip-sampling G(n, p) family.",
     "scaling-growth": "Scale tier: the distributed engine's empirical CONGEST rounds/messages across the new families must grow consistently with the declared O(beta)-phase bound (rounds under the closed-form bound, exponent within rho plus slack, messages under the bandwidth ceiling).",
+    "chaos-primitives": "Fault tier: every fault-hardened primitive (bounded exploration, BFS forest, ruling set) under every injected fault profile (drops, duplicates, delays, crash-stop, a mixed storm) must terminate in a typed outcome -- exact, verified-degraded (safety re-proved against the real graph), or a typed protocol fault.",
+    "chaos-sweep": "Fault tier: a drop-rate x crash-fraction grid over the BFS forest; exactness erodes with fault pressure while every safety guarantee (tree edges real, distances are upper bounds, roots self-consistent) holds on every terminating schedule.",
 }
 
 DOC_HEADER = """\
@@ -109,6 +111,31 @@ PYTHONPATH=src python -m repro suite run [--filter TAG] [--jobs N] \\
   persisted under a content address and only invalidated tasks recompute.
   A second `--resume` run of an unchanged tree recomputes **zero** tasks.
 
+## Fault tier and pipeline hardening
+
+The `chaos`-tagged scenarios drive deterministic fault injection (message
+drops, duplicates, delays, link outages, crash-stop failures -- all pure
+functions of a `fault_seed` parameter) against the CONGEST primitives and
+verify, per task, which guarantee survived:
+
+```
+PYTHONPATH=src python -m repro chaos [--scenario NAME] [--jobs N] \\
+    [--task-timeout SECONDS] [--task-retries K] [--failures out.json]
+PYTHONPATH=src python -m repro chaos --store-smoke
+```
+
+Every task terminates in a typed outcome (`exact`, `verified-degraded`, or
+`protocol-fault`), and the scenario checks enforce the tier's contract:
+safety guarantees hold on every terminating schedule, zero-fault grid points
+stay bit-exact, and active plans inject counted faults.  The pipeline itself
+is hardened for such hostile tasks: `--task-timeout` quarantines a wedged
+task (recorded in a schema-validated failure manifest) without sinking the
+suite, and `--task-retries` re-runs failures with the *same* params and seed
+(tasks are pure, so retries only recover transient environmental failures).
+`--store-smoke` is the store-corruption self-test: it corrupts one cached
+entry and proves the store invalidates it, recomputes exactly that task and
+reproduces a byte-identical record.
+
 ## Result-store layout
 
 The store is content-addressed: each task's key is
@@ -120,14 +147,16 @@ spec's `version` therefore invalidates exactly the affected tasks.
 ```
 <store>/
   <scenario-name>/
-    <key>.json      # {"schema": "repro-result-store/v1", "scenario",
+    <key>.json      # {"schema": "repro-result-store/v2", "scenario",
                     #  "params", "seed", "workload_fingerprint",
-                    #  "version", "payload"}
+                    #  "version", "payload", "payload_sha256"}
 ```
 
 Entries hold the canonical payload the pipeline merges, so a cache hit is
 byte-for-byte indistinguishable from a fresh computation.  Writes are atomic
-(temp file + rename).
+(temp file + rename), and every read re-verifies the `payload_sha256`
+integrity checksum: a corrupted, truncated or stale-schema entry is treated
+as a miss, deleted, and recomputed on the next `--resume` run.
 """
 
 

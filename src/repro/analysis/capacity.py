@@ -42,11 +42,19 @@ tested on synthetic timing functions without building anything.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 CAPACITY_SCHEMA = "capacity-ladder/v1"
+
+#: A probe is hard-capped at ``budget * DEFAULT_PROBE_TIMEOUT_FACTOR`` seconds
+#: of wall-clock; a build that blows the cap reads as over-budget instead of
+#: stalling the ladder (the doubling search can otherwise step onto a size
+#: that runs for minutes on a super-linear construction).
+DEFAULT_PROBE_TIMEOUT_FACTOR = 8.0
 
 #: Default workload family for capacity probes: sparse, O(n + m) to generate,
 #: connected-ish -- the scale-tier reference shape.
@@ -60,6 +68,49 @@ MEASURED_HINTS_PATH = Path(__file__).resolve().parent.parent / "algorithms" / "C
 MIN_PRACTICAL_N = 16
 
 Probe = Callable[[int], float]
+
+
+class ProbeTimeout(Exception):
+    """A capacity probe blew its hard wall-clock cap."""
+
+
+def _alarm_available() -> bool:
+    """SIGALRM pre-emption works only on the main thread of a POSIX process."""
+    return hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+
+
+def hard_capped_probe(probe: Probe, cap_seconds: float) -> Probe:
+    """Wrap ``probe`` with a hard wall-clock ceiling of ``cap_seconds``.
+
+    On the main thread the cap is pre-emptive (``signal.setitimer`` aborts the
+    build mid-flight), so one runaway probe can never stall the ladder.  Off
+    the main thread enforcement is post-hoc: the probe runs to completion and
+    its reading is clamped to the cap.  Either way a capped reading is over
+    any budget smaller than the cap, so the search contracts and the entry
+    reports ``budget_exhausted`` instead of hanging.
+    """
+    if cap_seconds <= 0:
+        raise ValueError("cap_seconds must be positive")
+
+    def capped(n: int) -> float:
+        if not _alarm_available():
+            return min(float(probe(n)), float(cap_seconds))
+
+        def on_alarm(signum, frame):
+            raise ProbeTimeout(f"probe(n={n}) exceeded {cap_seconds}s")
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, cap_seconds)
+        try:
+            seconds = float(probe(n))
+        except ProbeTimeout:
+            return float(cap_seconds)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return min(seconds, float(cap_seconds))
+
+    return capped
 
 
 def largest_n_within_budget(
@@ -163,13 +214,30 @@ def measure_algorithm_capacity(
     start_n: int = 64,
     max_n: int = 16384,
     probe: Optional[Probe] = None,
+    probe_timeout_factor: Optional[float] = DEFAULT_PROBE_TIMEOUT_FACTOR,
 ) -> Dict[str, object]:
-    """One ladder entry: the measured capacity of a single algorithm."""
+    """One ladder entry: the measured capacity of a single algorithm.
+
+    ``probe_timeout_factor`` hard-caps every probe at
+    ``budget_seconds * factor`` wall-clock seconds (see
+    :func:`hard_capped_probe`); a capped probe reads as over-budget, so the
+    entry ends ``budget_exhausted`` instead of stalling.  Pass ``None`` to
+    run probes uncapped.
+    """
     from ..algorithms import get_spec
 
     spec = get_spec(algorithm)
     if probe is None:
         probe = build_probe(algorithm, family=family, seed=seed)
+    cap = None
+    if probe_timeout_factor is not None:
+        # The cap must strictly exceed the budget: a probe killed at the cap
+        # reads *as* the cap, and only a reading above the budget makes the
+        # search back off.
+        if probe_timeout_factor <= 1:
+            raise ValueError("probe_timeout_factor must be > 1 (or None to run uncapped)")
+        cap = budget_seconds * probe_timeout_factor
+        probe = hard_capped_probe(probe, cap)
     capacity, probes = largest_n_within_budget(
         probe, budget_seconds, start_n=start_n, max_n=max_n
     )
@@ -179,6 +247,8 @@ def measure_algorithm_capacity(
         # the algorithm may scale further than max_n.
         "budget_exhausted": capacity != max_n,
         "probes": [[n, round(seconds, 4)] for n, seconds in probes],
+        "probe_timeout_seconds": cap,
+        "probes_timed_out": sum(1 for _, seconds in probes if cap is not None and seconds >= cap),
         "declared_hint": spec.max_practical_vertices,
     }
 
@@ -192,6 +262,7 @@ def capacity_ladder(
     start_n: int = 64,
     max_n: int = 16384,
     probe_factory: Optional[Callable[[str], Probe]] = None,
+    probe_timeout_factor: Optional[float] = DEFAULT_PROBE_TIMEOUT_FACTOR,
 ) -> Dict[str, object]:
     """The full measured ladder (every registered algorithm by default)."""
     from ..algorithms import algorithm_names
@@ -208,6 +279,7 @@ def capacity_ladder(
             start_n=start_n,
             max_n=max_n,
             probe=probe,
+            probe_timeout_factor=probe_timeout_factor,
         )
     return {
         "schema": CAPACITY_SCHEMA,

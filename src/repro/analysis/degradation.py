@@ -1,0 +1,252 @@
+"""Which guarantees survive an injected fault schedule.
+
+The fault-hardened primitives (:mod:`repro.primitives`) terminate under any
+:class:`~repro.congest.faults.FaultPlan` with either a typed
+``ProtocolFault`` or a *degraded-but-verifiable* result.  This module is the
+"verifiable" half: for each primitive it re-checks the paper's guarantees on
+a (possibly faulted) run and classifies each as
+
+* **safety** -- must hold under *any* fault schedule, because the protocols
+  only ever record information carried by real messages over real edges:
+
+  - exploration: every recorded ``(distance, via)`` entry traces back to its
+    center along real edges, with the chain length equal to the recorded
+    distance (so recorded distances upper-bound true distances);
+  - BFS forest: every parent pointer is a real edge, roots are genuine
+    sources, and ``dist`` increments along parent chains within the depth
+    bound;
+  - ruling set: the set is a subset of the candidates and *dominates* them
+    (a knock-out message implies real <= ``q`` proximity, and chaining
+    positions gives ``c*q``).
+
+* **exactness** -- may degrade when messages are dropped, delayed or nodes
+  crash: exploration completeness/exact distances, forest shortest-distance
+  and coverage, ruling-set separation.
+
+Each verifier returns a :class:`~repro.analysis.phase_stats.VerificationReport`
+whose ``survived()`` / ``degraded()`` / ``safety_intact`` accessors report
+which guarantee survived degradation.  Passing the matching fault-free
+``baseline`` result tightens the exactness checks to bit-equality with the
+clean run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..graphs.bfs import bfs_distances, multi_source_bfs
+from ..graphs.graph import Graph
+from ..primitives.bfs_forest import ForestResult
+from ..primitives.exploration import ExplorationResult
+from ..primitives.ruling_set import RulingSetResult
+from .phase_stats import VerificationReport
+
+SAFETY = "safety"
+EXACTNESS = "exactness"
+
+
+def _center_distances(graph: Graph, centers: Sequence[int]) -> Dict[int, Dict[int, int]]:
+    """True BFS distance maps from every center (small graphs only)."""
+    return {center: bfs_distances(graph, center) for center in centers}
+
+
+def verify_degraded_exploration(
+    graph: Graph,
+    result: ExplorationResult,
+    baseline: Optional[ExplorationResult] = None,
+) -> VerificationReport:
+    """Check which exploration guarantees survived a (possibly faulted) run."""
+    report = VerificationReport()
+    n = graph.num_vertices
+    true_dist = _center_distances(graph, result.centers)
+
+    chain_violations: List[str] = []
+    bound_violations: List[str] = []
+    for v in range(n):
+        for center, recorded in result.known_dist[v].items():
+            # Walk the via chain, validating every hop is a real edge.
+            current, steps, broken = v, 0, False
+            while current != center:
+                via = result.known_via[current].get(center)
+                if via is None or not graph.has_edge(current, via):
+                    broken = True
+                    break
+                current = via
+                steps += 1
+                if steps > n:
+                    broken = True
+                    break
+            if broken or steps != recorded:
+                chain_violations.append(f"v={v} center={center} recorded={recorded}")
+                continue
+            truth = true_dist[center].get(v)
+            if truth is None or recorded < truth:
+                bound_violations.append(
+                    f"v={v} center={center} recorded={recorded} true={truth}"
+                )
+    report.add(
+        "exploration-via-chains-real",
+        not chain_violations,
+        "; ".join(chain_violations[:5]),
+        category=SAFETY,
+    )
+    report.add(
+        "exploration-distances-upper-bound-truth",
+        not bound_violations,
+        "; ".join(bound_violations[:5]),
+        category=SAFETY,
+    )
+
+    if baseline is not None:
+        knowledge_equal = (
+            result.known_dist == baseline.known_dist
+            and result.known_via == baseline.known_via
+        )
+        report.add(
+            "exploration-knowledge-complete",
+            knowledge_equal,
+            "" if knowledge_equal else "knowledge differs from the fault-free run",
+            category=EXACTNESS,
+        )
+        report.add(
+            "exploration-popularity-exact",
+            result.popular == baseline.popular,
+            "",
+            category=EXACTNESS,
+        )
+    else:
+        exact = all(
+            recorded == true_dist[center].get(v)
+            for v in range(n)
+            for center, recorded in result.known_dist[v].items()
+        )
+        report.add("exploration-distances-exact", exact, "", category=EXACTNESS)
+    return report
+
+
+def verify_degraded_forest(
+    graph: Graph,
+    result: ForestResult,
+    sources: Iterable[int],
+    baseline: Optional[ForestResult] = None,
+) -> VerificationReport:
+    """Check which BFS-forest guarantees survived a (possibly faulted) run."""
+    report = VerificationReport()
+    n = graph.num_vertices
+    source_set = set(sources)
+
+    structure_violations: List[str] = []
+    for v in range(n):
+        root, dist, parent = result.root[v], result.dist[v], result.parent[v]
+        if root is None:
+            if dist is not None or parent is not None:
+                structure_violations.append(f"v={v}: unreached but labelled")
+            continue
+        if root not in source_set:
+            structure_violations.append(f"v={v}: root {root} is not a source")
+        elif v in source_set and v == root:
+            if dist != 0 or parent is not None:
+                structure_violations.append(f"source {v}: bad self-label")
+        else:
+            if parent is None or not graph.has_edge(v, parent):
+                structure_violations.append(f"v={v}: parent {parent} is not a neighbour")
+            elif result.root[parent] != root or result.dist[parent] != dist - 1:
+                structure_violations.append(f"v={v}: inconsistent with parent {parent}")
+            if dist is None or not 0 < dist <= result.depth:
+                structure_violations.append(f"v={v}: dist {dist} outside (0, depth]")
+    report.add(
+        "forest-parents-real-edges",
+        not structure_violations,
+        "; ".join(structure_violations[:5]),
+        category=SAFETY,
+    )
+
+    truth = multi_source_bfs(graph, sorted(source_set), max_depth=result.depth)
+    shortest_violations = [
+        f"v={v}: dist={result.dist[v]} true={truth.dist[v]}"
+        for v in range(n)
+        if result.dist[v] is not None and result.dist[v] != truth.dist[v]
+    ]
+    report.add(
+        "forest-distances-shortest",
+        not shortest_violations,
+        "; ".join(shortest_violations[:5]),
+        category=EXACTNESS,
+    )
+    coverage_violations = [
+        f"v={v}: within {result.depth} of a source but unspanned"
+        for v in range(n)
+        if truth.dist[v] is not None and result.root[v] is None
+    ]
+    report.add(
+        "forest-coverage-complete",
+        not coverage_violations,
+        "; ".join(coverage_violations[:5]),
+        category=EXACTNESS,
+    )
+    if baseline is not None:
+        report.add(
+            "forest-labels-match-fault-free-run",
+            (result.root, result.dist, result.parent)
+            == (baseline.root, baseline.dist, baseline.parent),
+            "",
+            category=EXACTNESS,
+        )
+    return report
+
+
+def verify_degraded_ruling_set(
+    graph: Graph,
+    candidates: Iterable[int],
+    result: RulingSetResult,
+) -> VerificationReport:
+    """Check which ruling-set guarantees survived a (possibly faulted) run."""
+    report = VerificationReport()
+    candidate_set = set(candidates)
+    members = sorted(result.ruling_set)
+
+    extra = sorted(result.ruling_set - candidate_set)
+    report.add(
+        "ruling-set-subset-of-candidates",
+        not extra,
+        f"non-candidates: {extra[:5]}" if extra else "",
+        category=SAFETY,
+    )
+
+    if members:
+        reached = multi_source_bfs(graph, members, max_depth=result.domination_radius)
+        undominated = [
+            w for w in sorted(candidate_set) if reached.dist[w] is None
+        ]
+    else:
+        undominated = sorted(candidate_set)
+    report.add(
+        "ruling-set-dominates",
+        not undominated,
+        f"undominated candidates: {undominated[:5]}" if undominated else "",
+        category=SAFETY,
+    )
+
+    separation_violations: List[str] = []
+    for index, u in enumerate(members):
+        dist = bfs_distances(graph, u, max_depth=result.separation - 1)
+        for v in members[index + 1:]:
+            if v in dist:
+                separation_violations.append(f"{u}-{v} at {dist[v]}")
+    report.add(
+        "ruling-set-separated",
+        not separation_violations,
+        "; ".join(separation_violations[:5]),
+        category=EXACTNESS,
+    )
+    return report
+
+
+def degradation_summary(report: VerificationReport) -> Dict[str, object]:
+    """A JSON-safe summary of a degradation report (for experiment payloads)."""
+    return {
+        "safety_intact": report.safety_intact,
+        "all_passed": report.all_passed,
+        "survived": report.survived(),
+        "degraded": report.degraded(),
+    }

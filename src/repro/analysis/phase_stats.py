@@ -33,11 +33,19 @@ from ..graphs.graph import Graph
 
 @dataclass
 class CheckResult:
-    """Outcome of one lemma check."""
+    """Outcome of one lemma check.
+
+    ``category`` classifies the guarantee for fault-degradation reporting:
+    ``"safety"`` marks guarantees that must survive *any* fault schedule
+    (recorded structures are real), ``"exactness"`` marks guarantees that an
+    injected fault schedule is allowed to degrade (completeness, optimality),
+    and ``""`` leaves the check unclassified (the fault-free lemma checks).
+    """
 
     name: str
     passed: bool
     details: str = ""
+    category: str = ""
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.passed
@@ -49,8 +57,10 @@ class VerificationReport:
 
     checks: List[CheckResult] = field(default_factory=list)
 
-    def add(self, name: str, passed: bool, details: str = "") -> None:
-        self.checks.append(CheckResult(name=name, passed=passed, details=details))
+    def add(self, name: str, passed: bool, details: str = "", category: str = "") -> None:
+        self.checks.append(
+            CheckResult(name=name, passed=passed, details=details, category=category)
+        )
 
     @property
     def all_passed(self) -> bool:
@@ -68,11 +78,37 @@ class VerificationReport:
                 return check
         raise KeyError(name)
 
+    def survived(self) -> List[str]:
+        """Names of the guarantees that held on this run, sorted."""
+        return sorted(check.name for check in self.checks if check.passed)
+
+    def degraded(self) -> List[str]:
+        """Names of the guarantees that did not hold on this run, sorted."""
+        return sorted(check.name for check in self.checks if not check.passed)
+
+    @property
+    def safety_intact(self) -> bool:
+        """Whether every ``"safety"``-category guarantee held.
+
+        Safety guarantees must survive any fault schedule; a faulted run is
+        *verified degraded* when this is true even if exactness checks
+        failed.  Vacuously true for reports without categorized checks.
+        """
+        return all(check.passed for check in self.checks if check.category == "safety")
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "all_passed": self.all_passed,
+            "safety_intact": self.safety_intact,
+            "survived": self.survived(),
+            "degraded": self.degraded(),
             "checks": [
-                {"name": c.name, "passed": c.passed, "details": c.details}
+                {
+                    "name": c.name,
+                    "passed": c.passed,
+                    "details": c.details,
+                    "category": c.category,
+                }
                 for c in self.checks
             ],
         }

@@ -112,6 +112,39 @@ def render_run_result(run, title: str = "per-phase statistics") -> str:
     return "\n".join(lines)
 
 
+#: Fault-counter columns of :func:`render_fault_summary`, in display order
+#: (the keys of :func:`repro.congest.faults.fresh_fault_counters`).
+_FAULT_COUNTER_COLUMNS = (
+    "dropped", "duplicated", "delayed", "delay_rounds",
+    "link_down", "crashed_nodes", "lost_to_crash",
+)
+
+
+def render_fault_summary(record) -> str:
+    """Per-task fault summary of a chaos :class:`ExperimentRecord`.
+
+    One line per grid point: the task's identity columns (whatever of
+    primitive/profile/drop_rate/crash_fraction the scenario sweeps), its
+    typed outcome, how many guarantees degraded, and the injected-fault
+    counters the simulator recorded.
+    """
+    rows = []
+    for row in record.rows:
+        counters = row.get("fault_counters") or {}
+        line: Dict[str, object] = {
+            key: row[key]
+            for key in ("primitive", "profile", "drop_rate", "crash_fraction")
+            if key in row
+        }
+        line["outcome"] = row.get("outcome")
+        line["attempts"] = row.get("attempts")
+        line["degraded"] = len(row.get("degraded") or ())
+        for key in _FAULT_COUNTER_COLUMNS:
+            line[key] = counters.get(key, 0)
+        rows.append(line)
+    return render_table(rows, title=f"fault summary: {record.name}")
+
+
 def render_suite_manifest(manifest: Dict[str, object]) -> str:
     """Render a suite-run manifest (per-scenario status, checks, cache hits, wall-clock).
 

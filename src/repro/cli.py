@@ -11,6 +11,9 @@ Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
     repro experiment figure3 --json out.json
     repro suite list --filter figure
     repro suite run --filter paper --jobs 4 --store .repro-store --resume
+    repro chaos --jobs 4 --task-timeout 120 --task-retries 1
+    repro chaos --scenario chaos-sweep --failures failures.json
+    repro chaos --store-smoke
     repro capacity --budget 5
     repro capacity --budget 5 --json ladder.json --update-defaults
     repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
@@ -38,6 +41,16 @@ Sub-commands:
     ``suite run`` executes the selected scenarios through the experiment
     pipeline (``--jobs N`` process-parallel, ``--store DIR`` caches task
     results, ``--resume`` reuses them) and prints the suite manifest.
+``chaos``
+    Run the deterministic fault-injection tier: every ``chaos``-tagged
+    scenario sweeps fault profiles / drop rates / crash fractions against the
+    CONGEST primitives and verifies each run terminates with an exact result,
+    a *verified* degraded guarantee, or a typed protocol fault.  Prints a
+    per-task fault summary plus the suite manifest; ``--task-timeout`` /
+    ``--task-retries`` exercise the hardened pipeline, ``--failures`` saves
+    the quarantined-task manifest, and ``--store-smoke`` runs a
+    store-corruption self-test (corrupt one cached entry, prove it is
+    invalidated and recomputed without changing the record).
 ``capacity``
     Measure the capacity ladder: binary-search the largest practical vertex
     count per registered algorithm under a wall-clock budget (``--budget``
@@ -59,19 +72,28 @@ from typing import Dict, Optional, Sequence
 from . import algorithms
 from .analysis import (
     evaluate_run_stretch,
+    render_fault_summary,
     render_run_result,
     render_suite_manifest,
     render_table,
     verify_run,
 )
 from .analysis.capacity import (
+    DEFAULT_PROBE_TIMEOUT_FACTOR,
     MEASURED_HINTS_PATH,
     capacity_ladder,
     render_ladder,
     save_ladder,
 )
 from .core import SpannerResult, make_parameters
-from .experiments import all_specs, get_spec, run_scenario, run_suite, save_records
+from .experiments import (
+    all_specs,
+    get_spec,
+    run_scenario,
+    run_suite,
+    save_records,
+    validate_failure_manifest,
+)
 from .graphs import make_workload, read_edge_list, write_edge_list
 from .graphs.generators import WORKLOAD_FAMILIES
 
@@ -270,6 +292,97 @@ def _cmd_suite_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _chaos_store_smoke() -> int:
+    """Store-corruption smoke test: corrupt a cached chaos entry, prove recovery.
+
+    Runs the chaos sweep into a throwaway store, flips bytes in one cached
+    entry, resumes, and checks that exactly that task recomputed and the
+    merged record stayed byte-identical.
+    """
+    import tempfile
+
+    from .experiments import ResultStore
+    from .experiments.chaos import chaos_sweep_spec
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as root:
+        spec = chaos_sweep_spec()
+        first = run_suite([spec], store=root, resume=True)
+        if not first.ok:
+            print("store smoke: baseline chaos sweep failed", file=sys.stderr)
+            return 1
+        store = ResultStore(root)
+        scenario, key = next(iter(store.entries()))
+        path = store._path(scenario, key)
+        path.write_text(path.read_text(encoding="utf-8")[:-40], encoding="utf-8")
+        second = run_suite([spec], store=root, resume=True)
+        entry = second.manifest()["scenarios"][0]
+        identical = (
+            first.records[spec.name].to_canonical_json()
+            == second.records[spec.name].to_canonical_json()
+        )
+        ok = second.ok and entry["computed"] == 1 and identical
+        if ok:
+            print(
+                "store smoke: OK (1 corrupt entry invalidated, recomputed, "
+                "record byte-identical)"
+            )
+            return 0
+        print(
+            f"store smoke: FAILED (ok={second.ok}, recomputed={entry['computed']}, "
+            f"identical={identical})",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.store_smoke:
+        return _chaos_store_smoke()
+    error = _check_resume(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    specs = all_specs("chaos")
+    if args.scenario:
+        specs = [spec for spec in specs if spec.name == args.scenario]
+        if not specs:
+            names = ", ".join(spec.name for spec in all_specs("chaos"))
+            print(
+                f"unknown chaos scenario {args.scenario!r}; choose from: {names}",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_suite(
+        specs,
+        jobs=args.jobs,
+        store=args.store,
+        resume=args.resume,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+    )
+    for outcome in result.outcomes:
+        if outcome.record is not None:
+            print(render_fault_summary(outcome.record))
+            print()
+    manifest = result.manifest()
+    print(render_suite_manifest(manifest))
+    failures = result.failure_manifest()
+    validate_failure_manifest(failures)
+    if failures["count"]:
+        print(f"\nquarantined tasks ({failures['count']}):")
+        print(json.dumps(failures, indent=2, sort_keys=True))
+    if args.failures:
+        Path(args.failures).write_text(
+            json.dumps(failures, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"failure manifest saved to {args.failures}")
+    if args.records:
+        records = list(result.records.values())
+        paths = save_records(records, args.records)
+        print(f"saved {len(paths)} records to {args.records}")
+    return 0 if result.ok else 1
+
+
 def _cmd_capacity(args: argparse.Namespace) -> int:
     if args.budget <= 0:
         print("--budget must be positive", file=sys.stderr)
@@ -306,6 +419,15 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.probe_timeout_factor is None:
+        timeout_factor: Optional[float] = DEFAULT_PROBE_TIMEOUT_FACTOR
+    elif args.probe_timeout_factor == 0:
+        timeout_factor = None  # explicitly uncapped
+    elif args.probe_timeout_factor <= 1:
+        print("--probe-timeout-factor must be > 1 (or 0 to disable)", file=sys.stderr)
+        return 2
+    else:
+        timeout_factor = args.probe_timeout_factor
     ladder = capacity_ladder(
         args.budget,
         algorithms=args.algorithm or None,
@@ -313,6 +435,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         seed=args.seed,
         start_n=args.start_n,
         max_n=args.max_n,
+        probe_timeout_factor=timeout_factor,
     )
     print(render_ladder(ladder))
     if args.json:
@@ -410,6 +533,38 @@ def build_argument_parser() -> argparse.ArgumentParser:
     suite_run_parser.add_argument("--render", action="store_true", help="print every record, not just the manifest")
     suite_run_parser.set_defaults(handler=_cmd_suite_run)
 
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the fault-injection scenarios through the hardened pipeline",
+    )
+    chaos_parser.add_argument(
+        "--scenario", type=str, default=None,
+        help="run only this chaos scenario (default: every chaos-tagged one)",
+    )
+    chaos_parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial; results are identical)")
+    chaos_parser.add_argument("--store", type=str, default=None, help="result-store directory for task caching")
+    chaos_parser.add_argument("--resume", action="store_true", help="reuse stored task results; only invalidated tasks recompute")
+    chaos_parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="quarantine any task that exceeds this many wall-clock seconds",
+    )
+    chaos_parser.add_argument(
+        "--task-retries", type=int, default=0,
+        help="re-run a failed task this many times (same params and seed) before quarantining it",
+    )
+    chaos_parser.add_argument(
+        "--failures", type=str, default=None,
+        help="file to save the failure manifest of quarantined tasks as JSON",
+    )
+    chaos_parser.add_argument(
+        "--records", type=str, default=None, help="directory to save every record as JSON"
+    )
+    chaos_parser.add_argument(
+        "--store-smoke", action="store_true",
+        help="run the store-corruption smoke test instead of the scenarios",
+    )
+    chaos_parser.set_defaults(handler=_cmd_chaos)
+
     capacity_parser = subparsers.add_parser(
         "capacity",
         help="measure the largest practical n per algorithm under a time budget",
@@ -433,6 +588,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     capacity_parser.add_argument(
         "--max-n", type=int, default=16384, help="search-window ceiling"
+    )
+    capacity_parser.add_argument(
+        "--probe-timeout-factor",
+        type=float,
+        default=None,
+        help="hard-cap each probe at budget*FACTOR seconds (0 disables the cap; "
+        "default: the library's factor of 8)",
     )
     capacity_parser.add_argument(
         "--json", type=str, default=None, help="save the machine-readable ladder"

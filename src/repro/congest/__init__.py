@@ -6,8 +6,10 @@ from .errors import (
     InvalidDestination,
     MessageTooLarge,
     ProtocolError,
+    ProtocolFault,
     RoundLimitExceeded,
 )
+from .faults import FaultPlan, LinkOutage, fault_round_limit, fresh_fault_counters
 from .ledger import PhaseCharge, RoundLedger
 from .message import Message, count_words
 from .node import NodeContext, NodeProgram, StatefulNodeProgram, make_programs
@@ -24,7 +26,9 @@ __all__ = [
     "CongestionViolation",
     "DEFAULT_BANDWIDTH_MESSAGES",
     "DEFAULT_MAX_WORDS_PER_MESSAGE",
+    "FaultPlan",
     "InvalidDestination",
+    "LinkOutage",
     "Message",
     "MessageTooLarge",
     "NodeContext",
@@ -32,6 +36,7 @@ __all__ = [
     "NullTracer",
     "PhaseCharge",
     "ProtocolError",
+    "ProtocolFault",
     "ProtocolRun",
     "RecordingTracer",
     "RoundLedger",
@@ -40,5 +45,7 @@ __all__ = [
     "StatefulNodeProgram",
     "Tracer",
     "count_words",
+    "fault_round_limit",
+    "fresh_fault_counters",
     "make_programs",
 ]

@@ -55,3 +55,28 @@ class RoundLimitExceeded(CongestError):
     def __init__(self, max_rounds: int) -> None:
         self.max_rounds = max_rounds
         super().__init__(f"protocol did not terminate within {max_rounds} rounds")
+
+
+class ProtocolFault(CongestError):
+    """A primitive could not complete under an injected fault schedule.
+
+    Raised by the fault-hardened primitives (exploration, BFS forest, ruling
+    set) when every bounded retry of a faulted run either exceeded its round
+    budget or failed structurally.  Carries enough identity to reproduce the
+    failure: the protocol label, the reason, the number of attempts, and the
+    fault counters of the final attempt (when available).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        reason: str,
+        attempts: int = 1,
+        fault_counters=None,
+    ) -> None:
+        self.label = label
+        self.reason = reason
+        self.attempts = attempts
+        self.fault_counters = dict(fault_counters) if fault_counters else None
+        suffix = f" after {attempts} attempt{'s' if attempts != 1 else ''}"
+        super().__init__(f"protocol {label!r} faulted ({reason}){suffix}")

@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from .errors import CongestionViolation, ProtocolError, RoundLimitExceeded
+from .faults import NEVER, FaultPlan, fresh_fault_counters
 from .ledger import RoundLedger
 from .message import Message
 from .node import BROADCAST_DEST, NodeContext, NodeProgram
@@ -41,6 +42,9 @@ class ProtocolRun:
     max_edge_congestion: int
     results: List[Any]
     congestion_violations: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    # Per-fault-class counters recorded by the fault-mode scheduler; ``None``
+    # for every fault-free run (the default path never touches this field).
+    fault_counters: Optional[Dict[str, int]] = None
 
     @property
     def violated_congestion(self) -> bool:
@@ -144,6 +148,7 @@ class Simulator:
         message_driven: bool = False,
         starters: Optional[Sequence[int]] = None,
         reuse_bindings: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ProtocolRun:
         """Run ``programs`` (one per vertex) to quiescence.
 
@@ -180,6 +185,17 @@ class Simulator:
         methods per run.  The caller must drop the cache with
         :meth:`release_program_bindings` when done, otherwise the simulator
         pins the programs (and everything they reference) alive.
+
+        ``fault_plan`` injects a deterministic fault schedule (see
+        :mod:`repro.congest.faults`): the run is routed through a separate
+        fault-mode scheduler that applies drops, duplications, delays, link
+        outages and crash-stops at delivery time and records per-fault-class
+        counters in ``ProtocolRun.fault_counters``.  With no plan (or an
+        inactive one) the optimized fault-free path runs completely
+        untouched -- zero overhead, bit-identical outcomes.  The wall-clock
+        hints (``starters``, ``initially_awake``, ``message_driven``,
+        ``reuse_bindings``) are ignored in fault mode; they never change
+        protocol outcomes, only speed.
         """
         n = self.graph.num_vertices
         if len(programs) != n:
@@ -199,6 +215,17 @@ class Simulator:
             self._dirty = False
 
         try:
+            if fault_plan is not None and fault_plan.active:
+                return self._run_protocol_faulted(
+                    programs,
+                    contexts,
+                    inboxes,
+                    max_rounds,
+                    label,
+                    nominal_rounds,
+                    collect_results,
+                    fault_plan,
+                )
             return self._run_protocol(
                 programs,
                 contexts,
@@ -330,6 +357,184 @@ class Simulator:
             max_edge_congestion=max_congestion,
             results=[p.result() for p in programs] if collect_results else [],
             congestion_violations=violations,
+        )
+        self.ledger.charge(
+            label=label,
+            nominal_rounds=nominal_rounds if nominal_rounds is not None else rounds_executed,
+            simulated_rounds=rounds_executed,
+            messages=messages_delivered,
+            words=words_delivered,
+            max_edge_congestion=max_congestion,
+        )
+        return run
+
+    def _run_protocol_faulted(
+        self,
+        programs: Sequence[NodeProgram],
+        contexts: List[NodeContext],
+        inboxes: List[List[Message]],
+        max_rounds: int,
+        label: str,
+        nominal_rounds: Optional[int],
+        collect_results: bool,
+        plan: FaultPlan,
+    ) -> ProtocolRun:
+        """Execute the fault-mode scheduler loop.
+
+        A deliberately simple, unoptimized sibling of :meth:`_run_protocol`:
+        it applies the :class:`FaultPlan` to every delivery event and keeps a
+        delayed-message queue, at the price of polling every program's
+        idleness each round.  Keeping it separate guarantees the fault-free
+        hot path stays byte-identical to its pre-fault behaviour.
+
+        Semantics:
+
+        * The bandwidth audit runs on the protocol's *attempted* sends, before
+          any fault is applied -- injected duplicates are the network's fault,
+          not the protocol's, and dropped messages still consumed bandwidth.
+        * ``messages_delivered``/``words_delivered`` count messages actually
+          placed in an inbox (duplicates count twice, drops not at all).
+        * A node crashing at round ``t`` executes rounds ``0..t-1``; messages
+          that would be processed at round >= ``t`` are lost
+          (``lost_to_crash``).
+        """
+        n = len(contexts)
+        crash_at = plan.crash_schedule(n)
+        counters = fresh_fault_counters()
+        counters["crashed_nodes"] = len(crash_at)
+        bandwidth = self.bandwidth_messages
+        strict = self.strict_congestion
+        tracer = self.tracer
+        trace_round = None if type(tracer) is NullTracer else tracer.on_round
+
+        delayed: Dict[int, List[Tuple[int, Message]]] = {}
+        receivers: set = set()
+        violations: List[Tuple[int, int, int, int]] = []
+        max_congestion = 0
+        in_flight = 0
+        in_flight_words = 0
+
+        def deliver(round_index: int) -> None:
+            """Drain sender outboxes, applying the plan per delivery event."""
+            nonlocal max_congestion, in_flight, in_flight_words
+            pending = list(self._pending)
+            self._pending.clear()
+            for ctx in pending:
+                sends = ctx.drain_outbox()
+                if not sends:
+                    continue
+                sender = ctx.node_id
+                # Audit attempted (pre-fault) per-edge counts.
+                counts: Dict[int, int] = {}
+                for neighbor, _ in sends:
+                    counts[neighbor] = counts.get(neighbor, 0) + 1
+                for neighbor, count in counts.items():
+                    if count > max_congestion:
+                        max_congestion = count
+                    if count > bandwidth:
+                        if strict:
+                            raise CongestionViolation(
+                                round_index, sender, neighbor, count, bandwidth
+                            )
+                        violations.append((round_index, sender, neighbor, count))
+                copy_of: Dict[int, int] = {}
+                for neighbor, message in sends:
+                    copy = copy_of.get(neighbor, 0)
+                    copy_of[neighbor] = copy + 1
+                    if plan.link_down(round_index, sender, neighbor):
+                        counters["link_down"] += 1
+                        continue
+                    if plan.drops(round_index, sender, neighbor, copy):
+                        counters["dropped"] += 1
+                        continue
+                    copies = 1
+                    if plan.duplicates(round_index, sender, neighbor, copy):
+                        copies = 2
+                        counters["duplicated"] += 1
+                    for extra in range(copies):
+                        lag = plan.delay(round_index, sender, neighbor, 2 * copy + extra)
+                        target = round_index + 1 + lag
+                        if crash_at.get(neighbor, NEVER) <= target:
+                            counters["lost_to_crash"] += 1
+                            continue
+                        if lag:
+                            counters["delayed"] += 1
+                            counters["delay_rounds"] += lag
+                            delayed.setdefault(target, []).append((neighbor, message))
+                        else:
+                            inboxes[neighbor].append(message)
+                            receivers.add(neighbor)
+                            in_flight += 1
+                            in_flight_words += message.words
+
+        # Round 0: on_start for every node alive at round 0.
+        for v in range(n):
+            if crash_at.get(v, NEVER) <= 0:
+                continue
+            ctx = contexts[v]
+            ctx.round_index = 0
+            programs[v].on_start(ctx)
+        deliver(0)
+        awake = {
+            v
+            for v in range(n)
+            if crash_at.get(v, NEVER) > 0 and not programs[v].is_idle()
+        }
+
+        rounds_executed = 0
+        messages_delivered = 0
+        words_delivered = 0
+        round_index = 0
+        while receivers or awake or delayed:
+            if rounds_executed >= max_rounds:
+                raise RoundLimitExceeded(max_rounds)
+            if not receivers and not awake:
+                # Only delayed messages remain; fast-forward to the next due
+                # round (idle gap rounds are not counted as executed).
+                round_index = min(delayed) - 1
+            round_index += 1
+            if crash_at:
+                awake = {v for v in awake if crash_at.get(v, NEVER) > round_index}
+            due = delayed.pop(round_index, None)
+            if due:
+                for neighbor, message in due:
+                    inboxes[neighbor].append(message)
+                    receivers.add(neighbor)
+                    in_flight += 1
+                    in_flight_words += message.words
+            if not receivers and not awake:
+                continue
+            rounds_executed += 1
+            messages_delivered += in_flight
+            words_delivered += in_flight_words
+            if trace_round is not None:
+                trace_round(round_index, in_flight)
+            in_flight = 0
+            in_flight_words = 0
+
+            ran = sorted(receivers | awake)
+            receivers = set()
+            for v in ran:
+                ctx = contexts[v]
+                ctx.round_index = round_index
+                inbox = inboxes[v]
+                programs[v].on_round(ctx, inbox)
+                if inbox:
+                    inbox.clear()
+                if programs[v].is_idle():
+                    awake.discard(v)
+                else:
+                    awake.add(v)
+            deliver(round_index)
+
+        run = ProtocolRun(
+            rounds_executed=rounds_executed,
+            messages_delivered=messages_delivered,
+            words_delivered=words_delivered,
+            max_edge_congestion=max_congestion,
+            results=[p.result() for p in programs] if collect_results else [],
+            congestion_violations=violations,
+            fault_counters=counters,
         )
         self.ledger.charge(
             label=label,

@@ -32,11 +32,14 @@ from .figures import (
     run_all_figures,
 )
 from .pipeline import (
+    FAILURE_MANIFEST_SCHEMA,
     ScenarioOutcome,
     SuiteResult,
+    TaskError,
     TaskSpec,
     run_scenario,
     run_suite,
+    validate_failure_manifest,
 )
 from .registry import (
     ScenarioSpec,
@@ -64,11 +67,13 @@ from .workloads import default_parameters, experiment_workloads, scaling_graphs,
 __all__ = [
     "ALL_FIGURES",
     "ExperimentRecord",
+    "FAILURE_MANIFEST_SCHEMA",
     "Measurement",
     "ResultStore",
     "ScenarioOutcome",
     "ScenarioSpec",
     "SuiteResult",
+    "TaskError",
     "TaskSpec",
     "all_specs",
     "build_result",
@@ -112,4 +117,5 @@ __all__ = [
     "scenario_names",
     "table1_spec",
     "table2_spec",
+    "validate_failure_manifest",
 ]

@@ -55,6 +55,7 @@ _BUILTIN_SCENARIO_MODULES = (
     "repro.experiments.scaling",
     "repro.experiments.ablation",
     "repro.experiments.families",
+    "repro.experiments.chaos",
 )
 
 

@@ -12,12 +12,19 @@ Layout::
     <root>/
       <scenario-name>/
         <key>.json       # {"schema", "scenario", "params", "seed",
-                         #  "workload_fingerprint", "version", "payload"}
+                         #  "workload_fingerprint", "version",
+                         #  "payload", "payload_sha256"}
 
 Entries hold the *canonical* JSON payload the pipeline merges, so a cache hit
 is byte-for-byte indistinguishable from a fresh computation.  Writes are
 atomic (temp file + rename); concurrent writers of the same key converge on
 identical content.
+
+Integrity: every entry records the SHA-256 of its canonical payload at write
+time, and every read re-verifies it.  A corrupt entry (truncated file, bit
+flip, unparseable JSON, stale schema, checksum mismatch) is treated as a
+cache *miss* -- the entry is deleted (auto-invalidate) and the pipeline
+recomputes the task -- never as a crash and never as silently wrong data.
 """
 
 from __future__ import annotations
@@ -33,7 +40,14 @@ from .registry import canonical_json
 
 PathLike = Union[str, Path]
 
-STORE_SCHEMA = "repro-result-store/v1"
+# v2 added the mandatory ``payload_sha256`` integrity checksum; v1 entries
+# (no checksum) read as corrupt and are invalidated + recomputed.
+STORE_SCHEMA = "repro-result-store/v2"
+
+
+def payload_checksum(payload: Mapping[str, object]) -> str:
+    """SHA-256 of the canonical-JSON form of a payload."""
+    return hashlib.sha256(canonical_json(dict(payload)).encode("utf-8")).hexdigest()
 
 
 class ResultStore:
@@ -71,17 +85,52 @@ class ResultStore:
     # Access
     # ------------------------------------------------------------------
     def get(self, scenario: str, key: str) -> Optional[Dict[str, object]]:
-        """Return the stored payload for ``key``, or ``None`` on a miss."""
+        """Return the stored payload for ``key``, or ``None`` on a miss.
+
+        Every read verifies the entry's integrity checksum; any corruption
+        (unreadable file, bad JSON, wrong schema, checksum mismatch) deletes
+        the entry and reads as a miss, so the pipeline recomputes the task.
+        """
         path = self._path(scenario, key)
         if not path.exists():
             return None
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             return None
-        if entry.get("schema") != STORE_SCHEMA:
+        except json.JSONDecodeError:
+            self._invalidate(path)
             return None
-        return entry.get("payload")
+        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA:
+            self._invalidate(path)
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict) or entry.get("payload_sha256") != payload_checksum(payload):
+            self._invalidate(path)
+            return None
+        return payload
+
+    @staticmethod
+    def _invalidate(path: Path) -> None:
+        """Delete a corrupt entry so the next run recomputes it."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def audit(self, scenario: Optional[str] = None) -> List[Tuple[str, str]]:
+        """Verify every entry's integrity; corrupt entries are invalidated.
+
+        Returns the ``(scenario, key)`` pairs that failed verification (and
+        were deleted).
+        """
+        corrupt: List[Tuple[str, str]] = []
+        for name, key in list(self.entries(scenario)):
+            path = self._path(name, key)
+            before = path.exists()
+            if self.get(name, key) is None and before:
+                corrupt.append((name, key))
+        return corrupt
 
     def put(
         self,
@@ -104,6 +153,7 @@ class ResultStore:
             "workload_fingerprint": workload_fingerprint,
             "version": version,
             "payload": payload,
+            "payload_sha256": payload_checksum(payload),
         }
         text = json.dumps(entry, indent=2, sort_keys=True, default=str)
         handle = tempfile.NamedTemporaryFile(

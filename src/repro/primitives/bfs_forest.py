@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..congest.errors import ProtocolFault, RoundLimitExceeded
+from ..congest.faults import FaultPlan, fault_round_limit
 from ..congest.message import Message
 from ..congest.node import NodeContext, NodeProgram
 from ..congest.simulator import ProtocolRun, Simulator
@@ -52,6 +54,7 @@ class ForestResult:
     depth: int
     nominal_rounds: int
     run: ProtocolRun
+    attempts: int = 1
 
     def spanned(self, v: int) -> bool:
         """Whether ``v`` is spanned by the forest."""
@@ -141,6 +144,8 @@ def run_bfs_forest(
     depth: int,
     label: str = "bfs-forest",
     collect_node_results: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    max_attempts: int = 1,
 ) -> ForestResult:
     """Grow a depth-bounded BFS forest rooted at ``sources``.
 
@@ -152,6 +157,15 @@ def run_bfs_forest(
     roots; ``collect_node_results=False`` additionally skips the per-node
     ``result()`` sweep (``ForestResult.run.results`` is then empty), which
     callers that only consume ``root``/``dist``/``parent`` use.
+
+    ``fault_plan`` runs the protocol under an injected fault schedule with a
+    bounded round budget (:func:`fault_round_limit`); the construction is
+    retried up to ``max_attempts`` times under derived plans, and a typed
+    :class:`~repro.congest.errors.ProtocolFault` is raised when every attempt
+    exceeds its budget.  Under faults every recorded parent is still a real
+    edge and ``dist`` the real hop count of a real path (safety), but a
+    vertex's tree path may be longer than its true distance and coverage may
+    be incomplete.
     """
     graph = simulator.graph
     n = graph.num_vertices
@@ -162,29 +176,50 @@ def run_bfs_forest(
     if depth < 0:
         raise ValueError("depth must be non-negative")
 
-    root: List[Optional[int]] = [None] * n
-    dist: List[Optional[int]] = [None] * n
-    parent: List[Optional[int]] = [None] * n
-    shared = (root, dist, parent)
-    programs = [_ForestProgram(v, v in source_set, depth, shared) for v in range(n)]
-    # Forest programs are never spontaneously active (is_idle is constant
-    # True); all progress is message-driven, so the idle poll can be skipped.
-    run = simulator.run_protocol(
-        programs,
-        label=label,
-        nominal_rounds=depth,
-        message_driven=True,
-        starters=sorted(source_set),
-        collect_results=collect_node_results,
-    )
-    return ForestResult(
-        root=root,
-        dist=dist,
-        parent=parent,
-        depth=depth,
-        nominal_rounds=depth,
-        run=run,
-    )
+    if fault_plan is None or not fault_plan.active:
+        plans: List[Optional[FaultPlan]] = [None]
+    else:
+        plans = [fault_plan.retry(k) for k in range(max(1, max_attempts))]
+    starters = sorted(source_set)
+    for attempt, plan in enumerate(plans):
+        root: List[Optional[int]] = [None] * n
+        dist: List[Optional[int]] = [None] * n
+        parent: List[Optional[int]] = [None] * n
+        shared = (root, dist, parent)
+        programs = [_ForestProgram(v, v in source_set, depth, shared) for v in range(n)]
+        fault_kwargs = {}
+        if plan is not None:
+            fault_kwargs = dict(
+                fault_plan=plan,
+                max_rounds=fault_round_limit(depth, plan),
+            )
+        # Forest programs are never spontaneously active (is_idle is constant
+        # True); all progress is message-driven, so the idle poll can be
+        # skipped (the hint is ignored in fault mode).
+        try:
+            run = simulator.run_protocol(
+                programs,
+                label=label,
+                nominal_rounds=depth,
+                message_driven=True,
+                starters=starters,
+                collect_results=collect_node_results,
+                **fault_kwargs,
+            )
+        except RoundLimitExceeded:
+            if attempt == len(plans) - 1:
+                raise ProtocolFault(label, "round-timeout", attempts=len(plans))
+            continue
+        return ForestResult(
+            root=root,
+            dist=dist,
+            parent=parent,
+            depth=depth,
+            nominal_rounds=depth,
+            run=run,
+            attempts=attempt + 1,
+        )
+    raise AssertionError("unreachable")
 
 
 def forest_membership(result: ForestResult) -> Dict[int, List[int]]:

@@ -29,9 +29,11 @@ Guarantees verified by the test-suite (Theorem 2.1 / Lemma A.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
+from ..congest.errors import ProtocolFault, RoundLimitExceeded
+from ..congest.faults import FaultPlan, fault_round_limit, fresh_fault_counters
 from ..congest.message import Message
 from ..congest.node import NodeContext, NodeProgram
 from ..congest.simulator import Simulator
@@ -93,6 +95,8 @@ class ExplorationResult:
         "nominal_rounds",
         "simulated_rounds",
         "messages",
+        "fault_counters",
+        "attempts",
         "_known",
     )
 
@@ -107,6 +111,8 @@ class ExplorationResult:
         nominal_rounds: int,
         simulated_rounds: int = 0,
         messages: int = 0,
+        fault_counters: Optional[Dict[int, int]] = None,
+        attempts: int = 1,
     ) -> None:
         self.known_dist = known_dist
         self.known_via = known_via
@@ -117,6 +123,8 @@ class ExplorationResult:
         self.nominal_rounds = nominal_rounds
         self.simulated_rounds = simulated_rounds
         self.messages = messages
+        self.fault_counters = fault_counters
+        self.attempts = attempts
         self._known: Optional[List[Dict[int, KnownCenter]]] = None
 
     @property
@@ -239,12 +247,24 @@ def run_bounded_exploration(
     depth: int,
     cap: int,
     label: str = "exploration",
+    fault_plan: Optional[FaultPlan] = None,
+    max_attempts: int = 1,
 ) -> ExplorationResult:
     """Run Algorithm 1 with center set ``centers``, depth ``delta`` and cap ``deg``.
 
     Returns an :class:`ExplorationResult` whose ``popular`` set is the paper's
     ``W_i`` and whose ``known`` maps drive both the interconnection step and
     its path trace-back.
+
+    ``fault_plan`` runs the phases under an injected fault schedule (see
+    :mod:`repro.congest.faults`): each phase gets a bounded round budget
+    (:func:`fault_round_limit`) so a wedged phase terminates, and the whole
+    primitive is retried up to ``max_attempts`` times under derived plans.
+    When every attempt times out a typed
+    :class:`~repro.congest.errors.ProtocolFault` is raised.  Under faults the
+    recorded (distance, via) entries still describe *real* walks in the graph
+    (safety), but knowledge may be incomplete and recorded distances may
+    exceed the true ones (see :mod:`repro.analysis.degradation`).
     """
     graph = simulator.graph
     n = graph.num_vertices
@@ -257,6 +277,32 @@ def run_bounded_exploration(
     if cap < 1:
         raise ValueError("cap (deg_i) must be >= 1")
 
+    if fault_plan is None or not fault_plan.active:
+        return _run_exploration_once(simulator, center_list, depth, cap, label, None, 1)
+    attempts = max(1, max_attempts)
+    for attempt in range(attempts):
+        try:
+            return _run_exploration_once(
+                simulator, center_list, depth, cap, label,
+                fault_plan.retry(attempt), attempt + 1,
+            )
+        except RoundLimitExceeded:
+            if attempt == attempts - 1:
+                raise ProtocolFault(label, "round-timeout", attempts=attempts)
+    raise AssertionError("unreachable")
+
+
+def _run_exploration_once(
+    simulator: Simulator,
+    center_list: List[int],
+    depth: int,
+    cap: int,
+    label: str,
+    plan: Optional[FaultPlan],
+    attempt_number: int,
+) -> ExplorationResult:
+    """One (possibly faulted) execution of Algorithm 1 from fresh state."""
+    n = simulator.graph.num_vertices
     known_dist: List[Dict[int, int]] = [dict() for _ in range(n)]
     known_via: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
     # Non-senders share the one empty buffer; only centers start with a real
@@ -287,10 +333,11 @@ def run_bounded_exploration(
         for v in range(n)
     ]
     counters = {"charged": 0, "simulated": 0, "messages": 0}
+    fault_totals = fresh_fault_counters() if plan is not None else None
     try:
         _run_exploration_phases(
             simulator, programs, newly, known_dist, senders, learners,
-            depth, cap, label, counters,
+            depth, cap, label, counters, plan, fault_totals,
         )
     finally:
         # The phase programs are finished (or the run aborted); let the
@@ -323,7 +370,27 @@ def run_bounded_exploration(
         nominal_rounds=nominal_rounds,
         simulated_rounds=simulated_rounds,
         messages=messages,
+        fault_counters=fault_totals,
+        attempts=attempt_number,
     )
+
+
+def _phase_crashes(
+    crash_at: Dict[int, int], phase_start: int, phase_len: int
+) -> Dict[int, int]:
+    """Project a global crash schedule onto one phase's local round numbering.
+
+    A node crashing at global round ``r`` is dead from local round 0 if the
+    crash predates the phase, from local round ``r - phase_start`` if it
+    falls inside the phase, and alive (omitted) otherwise.
+    """
+    local: Dict[int, int] = {}
+    for v, r in crash_at.items():
+        if r <= phase_start:
+            local[v] = 0
+        elif r < phase_start + phase_len:
+            local[v] = r - phase_start
+    return local
 
 
 def _run_exploration_phases(
@@ -337,13 +404,37 @@ def _run_exploration_phases(
     cap: int,
     label: str,
     counters: Dict[str, int],
+    plan: Optional[FaultPlan] = None,
+    fault_totals: Optional[Dict[str, int]] = None,
 ) -> None:
     """The phase loop of Algorithm 1 (split out so the caller can guarantee
-    the scheduler's binding cache is released even on an aborted run)."""
+    the scheduler's binding cache is released even on an aborted run).
+
+    Under a fault plan each phase runs as its own faulted sub-protocol under
+    a phase-derived plan; the plan's crash schedule is computed once against
+    the *nominal* global round numbering and projected onto each phase, so a
+    crash-stopped node stays dead for the rest of the exploration.
+    """
+    crash_at = plan.crash_schedule(len(programs)) if plan is not None else {}
+    if fault_totals is not None:
+        fault_totals["crashed_nodes"] = len(crash_at)
     for phase in range(1, depth + 1):
         if not senders:
             break
         phase_nominal = cap if phase > 1 else cap + 1
+        phase_kwargs = {}
+        if plan is not None:
+            phase_plan = replace(
+                plan.derive(phase),
+                crash_fraction=0.0,
+                crashes=tuple(
+                    sorted(_phase_crashes(crash_at, counters["charged"], phase_nominal).items())
+                ),
+            )
+            phase_kwargs = dict(
+                fault_plan=phase_plan,
+                max_rounds=fault_round_limit(phase_nominal, phase_plan),
+            )
         run = simulator.run_protocol(
             programs,
             label=f"{label}:phase{phase}",
@@ -352,10 +443,15 @@ def _run_exploration_phases(
             collect_results=False,
             starters=senders,
             reuse_bindings=True,
+            **phase_kwargs,
         )
         counters["charged"] += phase_nominal
         counters["simulated"] += run.rounds_executed
         counters["messages"] += run.messages_delivered
+        if fault_totals is not None and run.fault_counters is not None:
+            for key, value in run.fault_counters.items():
+                if key != "crashed_nodes":
+                    fault_totals[key] += value
         # Build the next phase's buffers: forward up to ``cap`` newly learned
         # centers (deterministically the smallest IDs; the paper allows an
         # arbitrary choice).  Only the programs that sent or learned this

@@ -37,9 +37,11 @@ is the full schedule.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..congest.errors import ProtocolFault
+from ..congest.faults import FaultPlan, fresh_fault_counters
 from ..congest.simulator import Simulator
 from .bfs_forest import run_bfs_forest
 
@@ -73,6 +75,8 @@ class RulingSetResult:
     domination_radius: int
     nominal_rounds: int
     simulated_rounds: int = 0
+    attempts: int = 1
+    fault_counters: Optional[Dict[str, int]] = None
 
 
 def id_digits(vertex_id: int, base: int, num_digits: int) -> Tuple[int, ...]:
@@ -152,6 +156,8 @@ def run_ruling_set(
     q: int,
     c: int,
     label: str = "ruling-set",
+    fault_plan: Optional[FaultPlan] = None,
+    max_attempts: int = 1,
 ) -> RulingSetResult:
     """Compute a ``(q+1, c*q)``-ruling set for ``candidates`` on the simulator.
 
@@ -159,6 +165,17 @@ def run_ruling_set(
     schedule itself depends only on ``n``, ``q`` and ``c`` (global knowledge)
     and on each candidate's own ID (local knowledge), so coordinating it does
     not require communication.
+
+    ``fault_plan`` runs every knock-out BFS under an injected fault schedule;
+    the plan's crash schedule is computed once against the nominal global
+    round numbering and projected onto each knock-out, so a crash-stopped
+    node stays dead for the rest of the construction.  The whole construction
+    is retried up to ``max_attempts`` times under derived plans; when every
+    attempt fails a typed :class:`~repro.congest.errors.ProtocolFault` is
+    raised.  Under faults a knock-out still only ever reaches vertices via
+    real paths of length <= ``q``, so the *domination* guarantee survives;
+    lost knock-out messages can leave extra survivors, so *separation* may
+    degrade.
     """
     graph = simulator.graph
     n = graph.num_vertices
@@ -172,19 +189,72 @@ def run_ruling_set(
         raise ValueError("c must be >= 1")
 
     base = _digit_base(n, c)
+    if fault_plan is None or not fault_plan.active:
+        return _run_ruling_set_once(
+            simulator, n, candidate_list, q, c, base, label, None, 1
+        )
+    attempts = max(1, max_attempts)
+    for attempt in range(attempts):
+        try:
+            return _run_ruling_set_once(
+                simulator, n, candidate_list, q, c, base, label,
+                fault_plan.retry(attempt), attempt + 1,
+            )
+        except ProtocolFault:
+            if attempt == attempts - 1:
+                raise ProtocolFault(label, "knock-out-timeout", attempts=attempts)
+    raise AssertionError("unreachable")
+
+
+def _run_ruling_set_once(
+    simulator: Simulator,
+    n: int,
+    candidate_list: List[int],
+    q: int,
+    c: int,
+    base: int,
+    label: str,
+    plan: Optional[FaultPlan],
+    attempt_number: int,
+) -> RulingSetResult:
+    """One (possibly faulted) execution of the digit-by-digit construction."""
     nominal_rounds = c * base * q
     rounds = {"simulated": 0, "charged": 0}
+    crash_at = plan.crash_schedule(n) if plan is not None else {}
+    fault_totals = None
+    if plan is not None:
+        fault_totals = fresh_fault_counters()
+        fault_totals["crashed_nodes"] = len(crash_at)
 
     def knock_out(position: int, value: int, group: List[int]):
+        ko_plan = None
+        if plan is not None:
+            start = rounds["charged"]
+            local = {}
+            for v, r in crash_at.items():
+                if r <= start:
+                    local[v] = 0
+                elif r < start + q:
+                    local[v] = r - start
+            ko_plan = replace(
+                plan.derive(1_000_003 * (position + 1) + value),
+                crash_fraction=0.0,
+                crashes=tuple(sorted(local.items())),
+            )
         forest = run_bfs_forest(
             simulator,
             sources=group,
             depth=q,
             label=f"{label}:pos{position}:val{value}",
             collect_node_results=False,
+            fault_plan=ko_plan,
         )
         rounds["simulated"] += forest.run.rounds_executed
         rounds["charged"] += forest.nominal_rounds
+        if fault_totals is not None and forest.run.fault_counters is not None:
+            for key, count in forest.run.fault_counters.items():
+                if key != "crashed_nodes":
+                    fault_totals[key] += count
         root = forest.root
         return lambda v: root[v] is not None
 
@@ -206,6 +276,8 @@ def run_ruling_set(
         domination_radius=c * q,
         nominal_rounds=nominal_rounds,
         simulated_rounds=rounds["simulated"],
+        attempts=attempt_number,
+        fault_counters=fault_totals,
     )
 
 

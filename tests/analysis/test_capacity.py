@@ -15,6 +15,7 @@ from repro.algorithms import algorithm_names
 from repro.analysis.capacity import (
     CAPACITY_SCHEMA,
     capacity_ladder,
+    hard_capped_probe,
     largest_n_within_budget,
     load_ladder,
     measure_algorithm_capacity,
@@ -138,3 +139,75 @@ class TestLadder:
         wrong_schema = tmp_path / "wrong.json"
         wrong_schema.write_text(json.dumps({"schema": "other/v9"}), encoding="utf-8")
         assert load_ladder(wrong_schema) is None
+
+
+class TestProbeHardTimeout:
+    def test_fast_probe_passes_through_uncapped_reading(self):
+        capped = hard_capped_probe(linear_cost(1000.0), cap_seconds=5.0)
+        assert capped(100) == 0.1
+
+    def test_hung_probe_aborted_at_the_cap(self):
+        import time
+
+        def hang(n):
+            time.sleep(30.0)
+            return 30.0
+
+        capped = hard_capped_probe(hang, cap_seconds=0.2)
+        start = time.monotonic()
+        assert capped(64) == 0.2
+        assert time.monotonic() - start < 5.0
+
+    def test_off_main_thread_falls_back_to_post_hoc_clamp(self):
+        import threading
+        import time
+
+        def slow(n):
+            time.sleep(0.3)
+            return 0.3
+
+        capped = hard_capped_probe(slow, cap_seconds=0.1)
+        readings = []
+        worker = threading.Thread(target=lambda: readings.append(capped(64)))
+        worker.start()
+        worker.join(timeout=10)
+        assert readings == [0.1]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            hard_capped_probe(linear_cost(1.0), cap_seconds=0)
+
+    def test_runaway_probe_yields_budget_exhausted_entry(self):
+        import time
+
+        def probe(n):
+            if n <= 128:
+                return 0.01
+            time.sleep(30.0)
+            return 30.0
+
+        start = time.monotonic()
+        entry = measure_algorithm_capacity(
+            "greedy", 0.5, probe=probe, start_n=64, max_n=4096,
+            probe_timeout_factor=2.0,
+        )
+        assert time.monotonic() - start < 15.0
+        assert entry["budget_exhausted"] is True
+        assert entry["max_practical_vertices"] <= 128
+        assert entry["probe_timeout_seconds"] == 1.0
+        assert entry["probes_timed_out"] >= 1
+
+    def test_factor_none_runs_uncapped(self):
+        entry = measure_algorithm_capacity(
+            "greedy", 1.0, probe=linear_cost(500.0), start_n=64, max_n=1024,
+            probe_timeout_factor=None,
+        )
+        assert entry["probe_timeout_seconds"] is None
+        assert entry["probes_timed_out"] == 0
+
+    def test_invalid_factor_rejected(self):
+        for factor in (-1.0, 0.5, 1.0):
+            with pytest.raises(ValueError, match="probe_timeout_factor"):
+                measure_algorithm_capacity(
+                    "greedy", 1.0, probe=linear_cost(500.0), probe_timeout_factor=factor
+                )

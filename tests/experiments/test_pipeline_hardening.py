@@ -1,0 +1,242 @@
+"""Tests for the hardened pipeline: TaskError, timeouts, retries, quarantine.
+
+Worker task functions live at module level so the process pool can pickle
+them by reference.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    FAILURE_MANIFEST_SCHEMA,
+    ExperimentRecord,
+    TaskError,
+    run_suite,
+    validate_failure_manifest,
+)
+from repro.experiments.pipeline import execute_task_spec
+from repro.experiments.registry import ScenarioSpec
+
+
+# ----------------------------------------------------------------------
+# Picklable worker tasks
+# ----------------------------------------------------------------------
+def _quick_task(params, seed):
+    return {"rows": [{"x": params["x"], "seed": seed}]}
+
+
+def _boom_task(params, seed):
+    raise ValueError("boom")
+
+
+def _sleepy_task(params, seed):
+    time.sleep(params["sleep"])
+    return {"rows": [{"slept": params["sleep"], "seed": seed}]}
+
+
+def _flaky_task(params, seed):
+    """Fails once per marker file, then succeeds (a transient failure)."""
+    marker = Path(params["marker"]) / f"attempt-{params['x']}"
+    attempts = int(marker.read_text()) if marker.exists() else 0
+    marker.write_text(str(attempts + 1), encoding="utf-8")
+    if attempts < params["failures"]:
+        raise RuntimeError(f"transient failure {attempts}")
+    return {"rows": [{"x": params["x"], "seed": seed}]}
+
+
+def _merge(defaults, payloads):
+    rows = [row for payload in payloads for row in payload["rows"]]
+    return ExperimentRecord(name="hardening", description="", rows=rows)
+
+
+def _spec(name, task, **kwargs):
+    return ScenarioSpec(name=name, description="", task=task, merge=_merge, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# TaskError
+# ----------------------------------------------------------------------
+class TestTaskError:
+    def test_message_carries_identity(self):
+        err = TaskError("table1", 3, 1234, "ValueError: boom", params={"n": 40})
+        assert "task 3" in str(err)
+        assert "'table1'" in str(err)
+        assert "seed=1234" in str(err)
+        assert "ValueError: boom" in str(err)
+
+    def test_pickle_round_trip(self):
+        err = TaskError("table1", 3, 1234, "ValueError: boom", params={"n": 40})
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, TaskError)
+        assert (clone.scenario, clone.index, clone.seed) == ("table1", 3, 1234)
+        assert clone.cause == "ValueError: boom"
+        assert clone.params == {"n": 40}
+        assert str(clone) == str(err)
+
+    def test_execute_task_spec_wraps_failures(self):
+        with pytest.raises(TaskError) as info:
+            execute_task_spec(_boom_task, "scn", 2, {"x": 1}, 99)
+        assert info.value.scenario == "scn"
+        assert info.value.index == 2
+        assert info.value.seed == 99
+        assert info.value.cause == "ValueError: boom"
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_execute_task_spec_passes_results_through(self):
+        payload, wall = execute_task_spec(_quick_task, "scn", 0, {"x": 7}, 5)
+        assert payload == {"rows": [{"x": 7, "seed": 5}]}
+        assert wall >= 0
+
+
+# ----------------------------------------------------------------------
+# Timeouts
+# ----------------------------------------------------------------------
+class TestTimeouts:
+    def test_hung_task_quarantined_suite_completes(self):
+        specs = [
+            _spec("hang", _sleepy_task, grid={"sleep": [0.01, 60.0]}),
+            _spec("fine", _quick_task, grid={"x": [1, 2]}),
+        ]
+        start = time.monotonic()
+        result = run_suite(specs, jobs=2, task_timeout=2.0)
+        assert time.monotonic() - start < 30
+        assert not result.ok
+        manifest = result.failure_manifest()
+        validate_failure_manifest(manifest)
+        assert manifest["count"] == 1
+        (entry,) = manifest["failures"]
+        assert entry["scenario"] == "hang"
+        assert "TaskTimeout" in entry["error"]
+        # The healthy scenario still merged normally.
+        fine = next(o for o in result.outcomes if o.name == "fine")
+        assert fine.ok and len(fine.record.rows) == 2
+
+    def test_stranded_tasks_resubmitted_after_kill(self):
+        # One worker: the hung first task forces a pool kill while the
+        # remaining tasks are still queued; they must complete in a fresh
+        # pool, not inherit the failure.
+        spec = _spec("strand", _sleepy_task, expand=lambda d: [
+            {"sleep": 60.0}, {"sleep": 0.01}, {"sleep": 0.02},
+        ])
+        result = run_suite([spec], jobs=1, task_timeout=2.0)
+        manifest = result.failure_manifest()
+        assert manifest["count"] == 1
+        assert manifest["failures"][0]["task_index"] == 0
+        outcome = result.outcomes[0]
+        assert outcome.computed == 2
+
+    def test_timeout_forces_json_safe_validation(self):
+        from repro.graphs import path_graph
+
+        spec = _spec("graphful", _quick_task, defaults={"x": 1, "graph": path_graph(4)})
+        with pytest.raises(ValueError, match="non-serializable"):
+            run_suite([spec], jobs=1, task_timeout=1.0)
+
+    def test_bad_hardening_args_rejected(self):
+        spec = _spec("ok", _quick_task, defaults={"x": 1})
+        with pytest.raises(ValueError):
+            run_suite([spec], task_timeout=0)
+        with pytest.raises(ValueError):
+            run_suite([spec], task_retries=-1)
+        with pytest.raises(ValueError):
+            run_suite([spec], retry_backoff=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Retries
+# ----------------------------------------------------------------------
+class TestRetries:
+    def test_serial_retry_recovers_transient_failure(self, tmp_path):
+        spec = _spec(
+            "flaky-serial",
+            _flaky_task,
+            defaults={"marker": str(tmp_path), "failures": 1},
+            grid={"x": [1]},
+        )
+        result = run_suite([spec], jobs=1, task_retries=2, retry_backoff=0.0)
+        assert result.ok
+        assert (tmp_path / "attempt-1").read_text() == "2"
+        assert result.failure_manifest()["count"] == 0
+
+    def test_pool_retry_recovers_transient_failure(self, tmp_path):
+        spec = _spec(
+            "flaky-pool",
+            _flaky_task,
+            defaults={"marker": str(tmp_path), "failures": 1},
+            grid={"x": [1, 2]},
+        )
+        result = run_suite([spec], jobs=2, task_retries=1, retry_backoff=0.0)
+        assert result.ok
+        assert result.outcomes[0].computed == 2
+
+    def test_exhausted_retries_report_attempts(self):
+        spec = _spec("exhausted", _boom_task, grid={"x": [1]})
+        result = run_suite([spec], jobs=2, task_retries=2, retry_backoff=0.0)
+        assert not result.ok
+        (entry,) = result.failure_manifest()["failures"]
+        assert entry["attempts"] == 3
+        assert entry["error"] == "ValueError: boom"
+        assert result.outcomes[0].error == "task 0 failed: ValueError: boom"
+
+    def test_serial_exhausted_retries_report_attempts(self):
+        spec = _spec("exhausted-serial", _boom_task, grid={"x": [1]})
+        result = run_suite([spec], jobs=1, task_retries=1, retry_backoff=0.0)
+        (entry,) = result.failure_manifest()["failures"]
+        assert entry["attempts"] == 2
+
+
+# ----------------------------------------------------------------------
+# Determinism under hardening + manifest schema
+# ----------------------------------------------------------------------
+class TestHardenedDeterminism:
+    def test_timeout_and_retries_keep_records_byte_identical(self):
+        def specs():
+            return [_spec("det", _quick_task, grid={"x": [1, 2, 3]})]
+
+        plain = run_suite(specs(), jobs=1)
+        hardened_serial = run_suite(specs(), jobs=1, task_timeout=30.0, task_retries=2)
+        hardened_parallel = run_suite(specs(), jobs=4, task_timeout=30.0, task_retries=2)
+        canonical = plain.records["det"].to_canonical_json()
+        assert hardened_serial.records["det"].to_canonical_json() == canonical
+        assert hardened_parallel.records["det"].to_canonical_json() == canonical
+
+    def test_clean_suite_has_empty_failure_manifest(self):
+        result = run_suite([_spec("clean", _quick_task, grid={"x": [1]})])
+        manifest = result.failure_manifest()
+        validate_failure_manifest(manifest)
+        assert manifest == {
+            "schema": FAILURE_MANIFEST_SCHEMA,
+            "count": 0,
+            "failures": [],
+        }
+        assert result.manifest()["failed_tasks"] == 0
+
+    def test_validator_rejects_malformed_manifests(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_failure_manifest({"schema": "nope", "count": 0, "failures": []})
+        with pytest.raises(ValueError, match="count"):
+            validate_failure_manifest(
+                {"schema": FAILURE_MANIFEST_SCHEMA, "count": 2, "failures": []}
+            )
+        with pytest.raises(ValueError, match="attempts"):
+            validate_failure_manifest(
+                {
+                    "schema": FAILURE_MANIFEST_SCHEMA,
+                    "count": 1,
+                    "failures": [
+                        {
+                            "scenario": "s",
+                            "task_index": 0,
+                            "seed": 1,
+                            "params": {},
+                            "error": "x",
+                            "attempts": "three",
+                        }
+                    ],
+                }
+            )

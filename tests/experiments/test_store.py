@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.experiments import run_suite
 from repro.experiments.ablation import epsilon_ablation_spec
-from repro.experiments.store import ResultStore
+from repro.experiments.store import STORE_SCHEMA, ResultStore, payload_checksum
 from repro.experiments.table1 import table1_spec
 
 
@@ -40,6 +42,56 @@ class TestResultStore:
         assert base != ResultStore.task_key("t", {"x": 1}, "fp", "1")
         assert base != ResultStore.task_key("s", {"x": 1}, "fp2", "1")
         assert base != ResultStore.task_key("s", {"x": 1}, "fp", "2")
+
+    def test_put_records_payload_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = {"rows": [{"a": 1}]}
+        path = store.put("s", "c" * 32, payload, params={}, seed=0,
+                         workload_fingerprint="", version="1")
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["schema"] == STORE_SCHEMA
+        assert entry["payload_sha256"] == payload_checksum(payload)
+
+    def test_bit_flip_in_payload_is_a_miss_and_auto_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("s", "b" * 32, {"v": 1}, params={}, seed=0,
+                         workload_fingerprint="", version="1")
+        # Valid JSON, but the payload no longer matches its checksum.
+        path.write_text(path.read_text(encoding="utf-8").replace('"v": 1', '"v": 2'),
+                        encoding="utf-8")
+        assert store.get("s", "b" * 32) is None
+        assert not path.exists()
+
+    def test_unparseable_entry_auto_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("s", "d" * 32, {"v": 1}, params={}, seed=0,
+                         workload_fingerprint="", version="1")
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get("s", "d" * 32) is None
+        assert not path.exists()
+
+    def test_stale_schema_auto_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("s", "e" * 32, {"v": 1}, params={}, seed=0,
+                         workload_fingerprint="", version="1")
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = "repro-result-store/v1"
+        del entry["payload_sha256"]
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.get("s", "e" * 32) is None
+        assert not path.exists()
+
+    def test_audit_reports_and_removes_only_corrupt_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("s", "1" * 32, {"v": 1}, params={}, seed=0,
+                  workload_fingerprint="", version="1")
+        bad = store.put("s", "2" * 32, {"v": 2}, params={}, seed=0,
+                        workload_fingerprint="", version="1")
+        bad.write_text("garbage", encoding="utf-8")
+        assert store.audit() == [("s", "2" * 32)]
+        assert store.get("s", "1" * 32) == {"v": 1}
+        assert store.size() == 1
+        assert store.audit() == []
 
     def test_entries_and_prune(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -98,6 +150,24 @@ class TestSuiteResume:
         bumped = dataclasses.replace(spec, version=spec.version + "-bumped")
         result = run_suite([bumped], store=tmp_path, resume=True)
         assert result.manifest()["scenarios"][0]["cache_hits"] == 0
+
+    def test_corrupted_entry_recomputed_on_resume(self, tmp_path):
+        spec = epsilon_ablation_spec(epsilons=(0.1, 0.3), sample_pairs=40)
+        first = run_suite([spec], store=tmp_path, resume=True)
+        store = ResultStore(tmp_path)
+        scenario, key = next(iter(store.entries()))
+        path = store._path(scenario, key)
+        path.write_text(path.read_text(encoding="utf-8")[:-40], encoding="utf-8")
+        second = run_suite([spec], store=tmp_path, resume=True)
+        manifest = second.manifest()["scenarios"][0]
+        assert manifest["cache_hits"] == 1
+        assert manifest["computed"] == 1
+        # The recomputed payload is stored again, and records stay identical.
+        assert store.get(scenario, key) is not None
+        assert (
+            first.records[spec.name].to_canonical_json()
+            == second.records[spec.name].to_canonical_json()
+        )
 
     def test_resume_with_parallel_jobs_identical_to_fresh_serial(self, tmp_path):
         specs = _specs()

@@ -23,6 +23,8 @@ EXPECTED_STAGE_ORDER = [
     "golden counters",
     "phase micro-benchmarks (quick mode)",
     "capacity ladder (quick mode)",
+    "fault injection (quick mode)",
+    "store-corruption smoke",
     "experiments-md drift",
 ]
 
@@ -103,6 +105,19 @@ class TestStagePlan:
         assert ci_check.QUICK_CAPACITY_BUDGET in capacity
         assert ci_check.QUICK_CAPACITY_MAX_N in capacity
 
+    def test_chaos_stage_is_quick_mode_with_a_task_timeout(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        chaos = plan["fault injection (quick mode)"]
+        assert "chaos" in chaos
+        assert "chaos-primitives" in chaos
+        assert ci_check.QUICK_CHAOS_TASK_TIMEOUT in chaos
+
+    def test_store_smoke_stage_runs_the_corruption_self_test(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        smoke = plan["store-corruption smoke"]
+        assert "chaos" in smoke
+        assert "--store-smoke" in smoke
+
 
 class TestMainOrchestration:
     def test_all_stages_pass(self, ci_check, monkeypatch, capsys, no_github):
@@ -126,7 +141,7 @@ class TestMainOrchestration:
         fake = FakeRun(returncodes={"bench_compare.py": 3})
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         assert ci_check.main([]) == 1
-        # tier-1 + golden ran; the three later stages were skipped.
+        # tier-1 + golden ran; every later stage was skipped.
         assert len(fake.calls) == 2
         out = capsys.readouterr().out
         assert "FAILED (exit 3)" in out
