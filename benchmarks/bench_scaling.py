@@ -1,6 +1,7 @@
 """Benchmark S1: scaling of rounds and spanner size with n (Corollaries 2.9 / 2.13),
 plus the scale-tier workloads (PR 5): a full distributed build at n=2000 and a
-centralized build at n=10000 under **pinned wall-clock budgets**.
+centralized build at n=10000 under **pinned wall-clock budgets**, and the
+vectorized-kernel tier workload (PR 7): a centralized build at n=100000.
 
 The budgets are deliberately generous multiples of the reference machine's
 measured times (so CI hardware jitter does not trip them) but tight enough
@@ -21,6 +22,10 @@ from repro.graphs import make_workload
 #: ~0.06s respectively; see the "Scale tier (PR 5)" section of ROADMAP.md).
 DISTRIBUTED_N2000_BUDGET_S = 5.0
 CENTRALIZED_N10000_BUDGET_S = 5.0
+
+#: Vectorized-tier budget (PR 7): a centralized build at n=100000 must stay
+#: interactive (reference machine: ~1.5-2.5s warm under the numpy kernel).
+CENTRALIZED_N100000_BUDGET_S = 5.0
 
 
 def _run():
@@ -77,6 +82,35 @@ def test_scale_tier_centralized_n10000(benchmark):
     )
     benchmark.extra_info["nominal_rounds"] = result.nominal_rounds
     benchmark.extra_info["spanner_edges"] = result.num_edges
+
+
+def test_scale_tier_centralized_n100000(benchmark):
+    """Vectorized-kernel tier: centralized build at n=100000 within budget.
+
+    The workload sits far past the auto threshold, so this drives the
+    NumPy/SciPy kernel backend end to end (BFS sweeps, cluster tables,
+    exploration) through a real build.  The resolved backend is recorded in
+    ``extra_info`` so snapshot diffs can tell cross-backend timing changes
+    from genuine regressions.
+    """
+    from repro.kernels import active_backend
+
+    graph = make_workload("sparse_gnp", 100000, seed=3)
+    parameters = default_parameters()
+
+    def run():
+        start = time.perf_counter()
+        result = build_spanner(graph, parameters=parameters, engine="centralized")
+        return result, time.perf_counter() - start
+
+    result, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert seconds <= CENTRALIZED_N100000_BUDGET_S, (
+        f"centralized n=100000 build took {seconds:.2f}s "
+        f"(budget {CENTRALIZED_N100000_BUDGET_S}s)"
+    )
+    benchmark.extra_info["nominal_rounds"] = result.nominal_rounds
+    benchmark.extra_info["spanner_edges"] = result.num_edges
+    benchmark.extra_info["kernel_backend"] = active_backend(graph.num_vertices)
 
 
 def test_scale_tier_generators(benchmark):

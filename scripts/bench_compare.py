@@ -88,8 +88,18 @@ def golden_workloads() -> Dict[str, Dict[str, object]]:
 # ----------------------------------------------------------------------
 # Benchmark harness
 # ----------------------------------------------------------------------
+def resolved_kernel_backend() -> str:
+    """The kernel backend this process (and the benchmark subprocess,
+    which inherits the environment) resolves to at large ``n``."""
+    sys.path.insert(0, str(SRC))
+    from repro.kernels import active_backend
+
+    return active_backend()
+
+
 def run_benchmarks(keyword: str = "") -> Dict[str, Dict[str, float]]:
     """Run the pytest benchmarks and return ``{fullname: wall-clock stats}``."""
+    backend = resolved_kernel_backend()
     bench_files = sorted(str(p) for p in BENCH_DIR.glob("bench_*.py"))
     if not bench_files:
         raise SystemExit(f"no bench_*.py files found under {BENCH_DIR}")
@@ -106,17 +116,19 @@ def run_benchmarks(keyword: str = "") -> Dict[str, Dict[str, float]]:
     with open(json_path) as handle:
         raw = json.load(handle)
     os.unlink(json_path)
-    stats: Dict[str, Dict[str, float]] = {}
+    stats: Dict[str, Dict[str, object]] = {}
     for bench in raw.get("benchmarks", []):
-        entry: Dict[str, float] = {
+        entry: Dict[str, object] = {
             "mean_s": bench["stats"]["mean"],
             "min_s": bench["stats"]["min"],
             "stddev_s": bench["stats"]["stddev"],
             "rounds": bench["stats"]["rounds"],
         }
         # Benchmarks report protocol counters (nominal rounds, messages, ...)
-        # through pytest-benchmark's extra_info; keep them in the snapshot.
+        # through pytest-benchmark's extra_info; keep them in the snapshot,
+        # stamped with the kernel backend the timings were taken under.
         entry.update(bench.get("extra_info") or {})
+        entry["kernel_backend"] = backend
         stats[bench["fullname"]] = entry
     return stats
 
@@ -127,6 +139,21 @@ def run_benchmarks(keyword: str = "") -> Dict[str, Dict[str, float]]:
 def compare(current: Dict[str, object], baseline: Dict[str, object]) -> int:
     """Print a speedup table and check golden invariants; return exit status."""
     status = 0
+    base_backend = baseline.get("kernel_backend")
+    cur_backend = current.get("kernel_backend")
+    cross_backend = (
+        isinstance(base_backend, str)
+        and isinstance(cur_backend, str)
+        and base_backend != cur_backend
+    )
+    if cross_backend:
+        print()
+        print(
+            f"NOTE: cross-backend comparison (baseline kernel={base_backend}, "
+            f"current kernel={cur_backend}): wall-clock differences reflect "
+            "the backend switch, not regressions.  Golden counters must still "
+            "match bit-for-bit."
+        )
     print()
     print(f"{'benchmark':60s} {'base(ms)':>10s} {'now(ms)':>10s} {'speedup':>8s}")
     print("-" * 92)
@@ -172,6 +199,7 @@ def main(argv: List[str] | None = None) -> int:
 
     snapshot: Dict[str, object] = {
         "schema": SCHEMA,
+        "kernel_backend": resolved_kernel_backend(),
         "benchmarks": {} if args.skip_benchmarks else run_benchmarks(args.keyword),
         "golden": golden_workloads(),
     }

@@ -6,23 +6,29 @@ Runs, in order (see :func:`stage_plan`):
 1. ``tier-1 tests`` -- the full pytest suite (``PYTHONPATH=src python -m
    pytest -x -q``); ``--junitxml PATH`` passes a JUnit report path through to
    pytest, ``--fast`` skips the stage entirely.
-2. ``golden counters`` -- ``scripts/bench_compare.py --skip-benchmarks``
+2. ``tier-1 tests (pure-python kernel)`` -- the same suite pinned to
+   ``REPRO_KERNEL=python``: the tree must work without the vectorized
+   NumPy/SciPy tier (an optional extra).  Also skipped under ``--fast``.
+3. ``golden counters`` -- ``scripts/bench_compare.py --skip-benchmarks``
    against the committed ``BENCH_seed.json``: the fixed distributed build and
    BFS-forest protocol must stay bit-identical.  ``--snapshot PATH`` keeps
    the produced snapshot (CI uploads it as an artifact).
-3. ``phase micro-benchmarks (quick mode)`` -- the superclustering /
+4. ``phase micro-benchmarks (quick mode)`` -- the superclustering /
    interconnection phase drivers run once, assertions only.
-4. ``capacity ladder (quick mode)`` -- ``repro capacity`` on a tiny budget
+5. ``capacity ladder (quick mode)`` -- ``repro capacity`` on a tiny budget
    and window: exercises the measured-capacity search and its CLI end to end
    on every push without paying real measurement time.
-5. ``fault injection (quick mode)`` -- ``repro chaos`` over the
+6. ``capacity ladder (quick mode, numpy kernel)`` -- the same quick ladder
+   under ``repro --kernel numpy``: drives the vectorized kernels through the
+   whole capacity CLI.
+7. ``fault injection (quick mode)`` -- ``repro chaos`` over the
    chaos-primitives matrix with a wall-clock task timeout: every injected
    fault schedule must terminate in a typed outcome (the scenario checks
    enforce it) and the failure manifest must validate against its schema.
-6. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
+8. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
    cached task entry, then prove the store invalidates it, recomputes exactly
    that task on resume, and reproduces a byte-identical record.
-7. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
+9. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
    current algorithm/scenario registries.
 
 Stages run sequentially and the first failure stops the run (later stages
@@ -40,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -97,12 +104,27 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
     ordering and flag handling are unit-testable without running anything.
     """
     pytest_cmd: Optional[List[str]] = None
+    pure_pytest_cmd: Optional[List[str]] = None
     if not args.fast:
         pytest_cmd = [sys.executable, "-m", "pytest", "-x", "-q"]
         if args.junitxml:
             pytest_cmd.append(f"--junitxml={args.junitxml}")
+        # The same suite pinned to the pure-Python kernel: proves the tree
+        # still works on a bare interpreter (numpy/scipy are an optional
+        # extra) and that no code path silently depends on the vectorized
+        # tier.  Leading KEY=VALUE tokens are env assignments (env(1)
+        # semantics, applied by run_stage).
+        pure_pytest_cmd = [
+            "REPRO_KERNEL=python",
+            sys.executable,
+            "-m",
+            "pytest",
+            "-x",
+            "-q",
+        ]
     return [
         ("tier-1 tests", pytest_cmd),
+        ("tier-1 tests (pure-python kernel)", pure_pytest_cmd),
         (
             "golden counters",
             [
@@ -132,6 +154,26 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
                 sys.executable,
                 "-m",
                 "repro",
+                "capacity",
+                "--budget",
+                QUICK_CAPACITY_BUDGET,
+                "--start-n",
+                QUICK_CAPACITY_START_N,
+                "--max-n",
+                QUICK_CAPACITY_MAX_N,
+            ],
+        ),
+        (
+            # Same quick ladder forced onto the vectorized backend: exercises
+            # the --kernel plumbing and the numpy kernels through the whole
+            # capacity CLI on every push.
+            "capacity ladder (quick mode, numpy kernel)",
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "--kernel",
+                "numpy",
                 "capacity",
                 "--budget",
                 QUICK_CAPACITY_BUDGET,
@@ -176,13 +218,23 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
 
 
 def run_stage(name: str, cmd: List[str]) -> StageResult:
-    """Run one stage command, grouped and annotated under GitHub Actions."""
+    """Run one stage command, grouped and annotated under GitHub Actions.
+
+    Leading ``KEY=VALUE`` tokens in ``cmd`` are environment assignments for
+    the stage (env(1) semantics), so the stage plan stays a plain list of
+    ``(name, argv)`` pairs.
+    """
     github = in_github_actions()
     if github:
         print(f"::group::{name}", flush=True)
     print(f"==> {name}: {' '.join(cmd)}", flush=True)
+    env = _env()
+    command = list(cmd)
+    while command and re.match(r"^[A-Za-z_][A-Za-z0-9_]*=", command[0]):
+        key, _, value = command.pop(0).partition("=")
+        env[key] = value
     start = time.perf_counter()
-    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_env())
+    proc = subprocess.run(command, cwd=REPO_ROOT, env=env)
     seconds = time.perf_counter() - start
     ok = proc.returncode == 0
     print(f"==> {name}: {'OK' if ok else f'FAILED (exit {proc.returncode})'}", flush=True)

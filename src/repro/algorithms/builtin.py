@@ -50,13 +50,18 @@ def measured_capacity_hints() -> Dict[str, int]:
     """The measured ``algorithm -> max_practical_vertices`` map (cached).
 
     Empty when the committed ladder is missing or malformed -- registrations
-    then keep their hand-set fallback hints.
+    then keep their hand-set fallback hints.  When the committed ladder was
+    measured under a different kernel backend than the one this process
+    resolves to, a single :class:`RuntimeWarning` flags the hints as stale
+    (capacities measured on one backend do not transfer to the other); the
+    hints are still used -- they remain the best available estimate.
     """
     global _measured_hints_cache
     if _measured_hints_cache is None:
         hints: Dict[str, int] = {}
         ladder = load_ladder(MEASURED_CAPACITY_PATH)
         if ladder is not None:
+            _warn_if_stale_backend(ladder)
             for name, entry in ladder.get("entries", {}).items():
                 try:
                     capacity = int(entry["max_practical_vertices"])
@@ -66,6 +71,32 @@ def measured_capacity_hints() -> Dict[str, int]:
                     hints[name] = capacity
         _measured_hints_cache = hints
     return _measured_hints_cache
+
+
+def _warn_if_stale_backend(ladder: Dict[str, object]) -> None:
+    """Warn (once per process; the caller caches) on a backend mismatch.
+
+    Pre-PR-7 ladders carry no ``kernel_backend`` stamp; they are treated as
+    unknown provenance and left unflagged rather than warned about on every
+    import.
+    """
+    import warnings
+
+    from ..kernels import active_backend
+
+    recorded = ladder.get("kernel_backend")
+    if not isinstance(recorded, str):
+        return
+    current = active_backend()
+    if recorded != current:
+        warnings.warn(
+            f"measured capacity hints ({MEASURED_CAPACITY_PATH.name}) were "
+            f"taken under the {recorded!r} kernel backend but this process "
+            f"resolves to {current!r}; the capacities are stale -- re-measure "
+            "with `repro capacity --update-defaults`",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _measured_hint(name: str, fallback: Optional[int]) -> Optional[int]:

@@ -42,6 +42,7 @@ tested on synthetic timing functions without building anything.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import time
@@ -281,7 +282,7 @@ def capacity_ladder(
             probe=probe,
             probe_timeout_factor=probe_timeout_factor,
         )
-    return {
+    ladder = {
         "schema": CAPACITY_SCHEMA,
         "budget_seconds": budget_seconds,
         "family": family,
@@ -289,6 +290,34 @@ def capacity_ladder(
         "start_n": start_n,
         "max_n": max_n,
         "entries": entries,
+    }
+    ladder.update(measurement_context())
+    return ladder
+
+
+def measurement_context() -> Dict[str, object]:
+    """Provenance stamped into every measured ladder (additive v1 keys).
+
+    A ladder is host- *and* backend-specific: the vertex counts it reports are
+    meaningless when replayed under a different kernel backend or on different
+    hardware.  The stamp records both so readers
+    (:func:`repro.algorithms.builtin.measured_capacity_hints`) can detect a
+    stale measurement instead of silently mis-capping every scenario matrix.
+    """
+    import platform
+
+    from ..kernels import active_backend, kernel_mode
+
+    return {
+        # What auto resolves to at ladder scale (capacity probes run far past
+        # the auto threshold) -- the number that actually shaped the timings.
+        "kernel_backend": active_backend(),
+        "kernel_mode": kernel_mode(),
+        "host": {
+            "machine": platform.machine(),
+            "python": f"{platform.python_implementation()} {platform.python_version()}",
+            "cpus": os.cpu_count(),
+        },
     }
 
 

@@ -17,6 +17,14 @@ Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
     repro capacity --budget 5
     repro capacity --budget 5 --json ladder.json --update-defaults
     repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
+    repro --kernel numpy build --family gnp --size 5000
+    repro --kernel python capacity --budget 2
+
+The global ``--kernel {python,numpy,auto}`` flag (equivalently the
+``REPRO_KERNEL`` environment variable) selects the kernel backend for every
+sub-command: pure-Python loops, the vectorized NumPy/SciPy tier, or automatic
+size-based selection (the default).  Both backends produce identical results;
+the switch only moves wall-clock.
 
 Sub-commands:
 
@@ -96,6 +104,7 @@ from .experiments import (
 )
 from .graphs import make_workload, read_edge_list, write_edge_list
 from .graphs.generators import WORKLOAD_FAMILIES
+from .kernels import AUTO_MIN_VERTICES, KERNEL_ENV_VAR, KERNEL_MODES, set_kernel
 
 
 def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
@@ -459,6 +468,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Deterministic near-additive spanners in the CONGEST model (Elkin-Matar, PODC 2019).",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNEL_MODES),
+        default=None,
+        help="kernel backend: 'python' (pure loops), 'numpy' (vectorized "
+        "NumPy/SciPy sweeps) or 'auto' (vectorized from "
+        f"{AUTO_MIN_VERTICES} vertices up; the default). Overrides the "
+        f"{KERNEL_ENV_VAR} environment variable and propagates to worker "
+        "processes.",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     build_parser = subparsers.add_parser("build", help="build a spanner and report on it")
@@ -618,6 +637,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` (and the ``repro`` console script)."""
     parser = build_argument_parser()
     args = parser.parse_args(argv)
+    if args.kernel is not None:
+        set_kernel(args.kernel)
     try:
         return args.handler(args)
     except BrokenPipeError:

@@ -38,8 +38,44 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..graphs.bfs import _flat_bfs_distances
+from ..graphs.bfs import _flat_bfs_distances, _np_bfs_dist_array
 from ..graphs.graph import Graph
+from ..kernels import require_numpy, use_numpy
+
+
+def _np_of(buf):
+    """A flat int buffer (``array('q')``, list or range) as a numpy array.
+
+    ``array('q')`` buffers are wrapped zero-copy via the buffer protocol;
+    list/range buffers (snapshot fast paths) are materialized once.
+    """
+    np = require_numpy()
+    if isinstance(buf, array):
+        if len(buf) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.frombuffer(buf, dtype=np.int64)
+    return np.asarray(buf, dtype=np.int64)
+
+
+def _np_members_radius(graph: Graph, center: int, members) -> int:
+    """Vectorized ``max dist(center, v) for v in members`` with error parity.
+
+    Raises on the first unreachable member in member order, exactly like the
+    pure-Python sweep.
+    """
+    np = require_numpy()
+    dist = _np_bfs_dist_array(graph, (center,))
+    idx = _np_of(members)
+    if idx.size == 0:
+        return 0
+    d = dist[idx]
+    bad = np.flatnonzero(d < 0)
+    if bad.size:
+        raise ValueError(
+            f"vertex {int(idx[bad[0]])} of the cluster centered at {center} "
+            "is unreachable"
+        )
+    return int(d.max())
 
 
 class ClusterHandle:
@@ -90,6 +126,11 @@ class ClusterHandle:
 
     def radius_in(self, graph: Graph) -> int:
         """``Rad(C)`` measured in ``graph`` (one flat BFS from the center)."""
+        snap = self._snapshot
+        if use_numpy(graph.num_vertices):
+            lo = snap._indptr[self._index]
+            hi = snap._indptr[self._index + 1]
+            return _np_members_radius(graph, self.center, snap._members[lo:hi])
         dist, _ = _flat_bfs_distances(graph, (self.center,))
         worst = 0
         center = self.center
@@ -239,6 +280,14 @@ class FlatClusters:
         """Map every clustered vertex to its cluster center (one array sweep)."""
         centers = self._centers
         cluster_of = self._cluster_of
+        if use_numpy(self.num_vertices):
+            np = require_numpy()
+            idx = _np_of(cluster_of)
+            clustered = np.flatnonzero(idx >= 0)
+            center_arr = _np_of(centers)
+            return dict(
+                zip(clustered.tolist(), center_arr[idx[clustered]].tolist())
+            )
         return {
             v: centers[idx]
             for v, idx in enumerate(cluster_of)
@@ -262,6 +311,14 @@ class FlatClusters:
         worst = 0
         indptr = self._indptr
         members = self._members
+        if use_numpy(graph.num_vertices):
+            for idx, center in enumerate(self._centers):
+                radius = _np_members_radius(
+                    graph, center, members[indptr[idx]: indptr[idx + 1]]
+                )
+                if radius > worst:
+                    worst = radius
+            return worst
         for idx, center in enumerate(self._centers):
             dist, _ = _flat_bfs_distances(graph, (center,))
             for v in members[indptr[idx]: indptr[idx + 1]]:
@@ -278,10 +335,14 @@ class FlatClusters:
         """Compact statistics used by the phase records."""
         indptr = self._indptr
         max_size = 0
-        for i in range(len(self._centers)):
-            size = indptr[i + 1] - indptr[i]
-            if size > max_size:
-                max_size = size
+        if self._centers and use_numpy(self.num_vertices):
+            np = require_numpy()
+            max_size = int(np.diff(_np_of(indptr)).max())
+        else:
+            for i in range(len(self._centers)):
+                size = indptr[i + 1] - indptr[i]
+                if size > max_size:
+                    max_size = size
         return {
             "num_clusters": len(self._centers),
             "num_vertices": len(self._members),
@@ -301,9 +362,22 @@ def flat_collections_partition_vertices(
     """Check Corollary 2.5 over snapshots: one pass over each ``cluster_of``.
 
     The collections partition ``0..n-1`` iff every vertex is covered exactly
-    once; with array-backed snapshots this is a byte-table sweep instead of
-    the legacy per-vertex set bookkeeping.
+    once; with array-backed snapshots this is a byte-table sweep (or, under
+    the vectorized tier, a summed bincount) instead of the legacy per-vertex
+    set bookkeeping.
     """
+    if use_numpy(num_vertices):
+        np = require_numpy()
+        counts = np.zeros(num_vertices, dtype=np.int64)
+        total = 0
+        for collection in collections:
+            payload = _np_of(collection.members_array())
+            if payload.size:
+                counts += np.bincount(payload, minlength=num_vertices)
+            total += collection.total_vertices()
+        if total != num_vertices:
+            return False
+        return not counts.size or int(counts.max()) == 1
     seen = bytearray(num_vertices)
     total = 0
     for collection in collections:

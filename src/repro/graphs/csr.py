@@ -12,6 +12,15 @@ Snapshot contract: a ``CSRGraph`` never changes.  ``Graph.csr()`` returns a
 cached snapshot and invalidates it on any mutation (``add_edge`` /
 ``remove_edge``), so holding on to a snapshot across mutations yields the
 *old* topology by design; re-call ``csr()`` to observe the new one.
+
+Vectorized kernel tier (PR 7): :attr:`CSRGraph.indptr_np` / :attr:`CSRGraph.adj_np`
+expose the same two buffers as **zero-copy, read-only** NumPy views, and
+:meth:`CSRGraph.scipy_csr` wraps them in a cached ``scipy.sparse.csr_matrix``
+handle sharing the index storage.  Because the views live on the snapshot,
+the existing ``Graph.version`` contract is exactly their invalidation rule:
+a mutation drops the cached snapshot, and the next ``Graph.csr()`` call
+yields a fresh one with fresh views, while views held from the old snapshot
+keep showing the old topology.
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ class CSRGraph:
         back-to-back, each row sorted ascending.
     """
 
-    __slots__ = ("indptr", "adj", "_n", "_m", "_rows")
+    __slots__ = ("indptr", "adj", "_n", "_m", "_rows", "_np_views", "_scipy")
 
     def __init__(self, indptr: array, adj: array) -> None:
         if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(adj):
@@ -48,6 +57,10 @@ class CSRGraph:
         # Per-row tuples are the fastest pure-Python iteration surface; they
         # are materialized lazily because not every consumer needs them.
         self._rows: List[Tuple[int, ...]] = []
+        # Lazy derived handles of the vectorized tier: zero-copy NumPy views
+        # of the two buffers and the scipy.sparse matrix wrapping them.
+        self._np_views = None
+        self._scipy = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,6 +114,68 @@ class CSRGraph:
                 tup(adj[indptr[v] : indptr[v + 1]]) for v in range(self._n)
             ]
         return self._rows
+
+    # ------------------------------------------------------------------
+    # Vectorized tier: zero-copy NumPy views and the scipy CSR handle
+    # ------------------------------------------------------------------
+    def _numpy_views(self):
+        from ..kernels import require_numpy
+
+        views = self._np_views
+        if views is None:
+            np = require_numpy()
+            if len(self.adj):
+                adj_np = np.frombuffer(self.adj, dtype=np.int64)
+            else:
+                adj_np = np.empty(0, dtype=np.int64)
+            indptr_np = np.frombuffer(self.indptr, dtype=np.int64)
+            # The views share the snapshot's memory; freeze them so no
+            # vectorized kernel can mutate an "immutable" snapshot.
+            indptr_np.flags.writeable = False
+            adj_np.flags.writeable = False
+            views = self._np_views = (indptr_np, adj_np)
+        return views
+
+    @property
+    def indptr_np(self):
+        """``indptr`` as a zero-copy, read-only ``numpy.int64`` view."""
+        return self._numpy_views()[0]
+
+    @property
+    def adj_np(self):
+        """``adj`` as a zero-copy, read-only ``numpy.int64`` view."""
+        return self._numpy_views()[1]
+
+    def scipy_csr(self):
+        """The snapshot as a cached ``scipy.sparse.csr_matrix`` (n x n, 0/1).
+
+        The matrix's ``indptr``/``indices`` share this snapshot's buffers
+        (zero-copy; only the unit ``data`` vector is allocated), so building
+        it costs O(m) once and nothing afterwards.  Like every derived view
+        it is invalidated through the ``Graph.version`` contract: mutations
+        drop the graph's cached snapshot, and the next ``Graph.csr()`` hands
+        out a fresh snapshot with a fresh matrix, while a held handle keeps
+        showing the topology at snapshot time.
+        """
+        matrix = self._scipy
+        if matrix is None:
+            from ..kernels import require_numpy, require_scipy_sparse
+
+            np = require_numpy()
+            sparse = require_scipy_sparse()
+            indptr_np, adj_np = self._numpy_views()
+            # The validating constructor copies (and possibly downcasts) the
+            # index arrays; assembling the matrix attribute-wise keeps the
+            # zero-copy contract.  Rows are sorted and duplicate-free by
+            # CSRGraph construction, so the canonical-format flags hold.
+            matrix = sparse.csr_matrix((self._n, self._n), dtype=np.int64)
+            matrix.data = np.ones(len(self.adj), dtype=np.int64)
+            matrix.indices = adj_np
+            matrix.indptr = indptr_np
+            matrix.has_sorted_indices = True
+            matrix.has_canonical_format = True
+            self._scipy = matrix
+        return matrix
 
     def edges(self) -> Iterator["Edge"]:
         """Iterate all undirected edges in canonical ``(min, max)`` form."""

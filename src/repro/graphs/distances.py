@@ -10,7 +10,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .bfs import bfs_distances
+from ..kernels import active_backend, require_numpy, use_numpy
+from .bfs import _np_bfs_dist_array, bfs_distances
 from .graph import Graph
 
 INFINITY: float = float("inf")
@@ -21,11 +22,23 @@ def single_source_distances(graph: Graph, source: int) -> List[float]:
 
     This is the distance-only hot path: a level-synchronous sweep over the
     graph's CSR snapshot writing straight into the dense float vector, with no
-    intermediate dict and no parent bookkeeping.
+    intermediate dict and no parent bookkeeping.  Under the vectorized kernel
+    tier the vector is a read-only ``numpy.float64`` array instead of a list;
+    element values are identical either way (whole hop counts, ``inf`` for
+    unreachable), and every consumer treats the vector as read-only.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} is out of range [0, {n})")
+    if use_numpy(n):
+        np = require_numpy()
+        hops = _np_bfs_dist_array(graph, (source,))
+        vec = hops.astype(np.float64)
+        vec[hops < 0] = np.inf
+        # Cached vectors are shared by reference; freeze the numpy ones so a
+        # stray in-place edit cannot corrupt every later analysis.
+        vec.flags.writeable = False
+        return vec
     inf = INFINITY
     dist = [inf] * n
     dist[source] = 0.0
@@ -59,11 +72,12 @@ class DistanceCache:
     histograms) then share one sweep per source.
     """
 
-    __slots__ = ("_graph", "_version", "_vectors")
+    __slots__ = ("_graph", "_version", "_backend", "_vectors")
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
         self._version = graph.version
+        self._backend = active_backend(graph.num_vertices)
         self._vectors: Dict[int, List[float]] = {}
 
     @property
@@ -83,6 +97,12 @@ class DistanceCache:
         if self._version != self._graph.version:
             self._vectors.clear()
             self._version = self._graph.version
+        backend = active_backend(self._graph.num_vertices)
+        if backend != self._backend:
+            # A kernel switch mid-session (CLI --kernel, tests) must not hand
+            # out vectors of the previous backend's type.
+            self._vectors.clear()
+            self._backend = backend
         vec = self._vectors.get(source)
         if vec is None:
             vec = self._vectors[source] = single_source_distances(self._graph, source)
@@ -229,6 +249,22 @@ def distance_histogram(graph: Graph, max_sources: Optional[int] = None, seed: in
     cache = graph.distance_cache()
     inf = INFINITY
     histogram: Dict[int, int] = {}
+    if use_numpy(graph.num_vertices):
+        np = require_numpy()
+        n = graph.num_vertices
+        is_source = np.zeros(n, dtype=bool)
+        is_source[sources] = True
+        vertex_ids = np.arange(n)
+        for s in sources:
+            vec = cache.vector(s)
+            keep = vec != np.inf
+            keep[s] = False
+            # Source-source pairs count from the smaller endpoint only.
+            keep &= ~(is_source & (vertex_ids < s))
+            counts = np.bincount(vec[keep].astype(np.int64))
+            for key in np.flatnonzero(counts).tolist():
+                histogram[key] = histogram.get(key, 0) + int(counts[key])
+        return histogram
     for s in sources:
         vec = cache.vector(s)
         for v, d in enumerate(vec):

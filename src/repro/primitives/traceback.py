@@ -315,7 +315,10 @@ def centralized_traceback_flat(
                 continue
             current = initiator
             while current != target:
-                nxt = parent[current]
+                # int() guards the vectorized backend: numpy parent arrays
+                # yield np.int64 scalars, which must not leak into the edge
+                # tuples (they would break JSON serialization downstream).
+                nxt = int(parent[current])
                 add((current, nxt) if current <= nxt else (nxt, current))
                 current = nxt
     return edges

@@ -89,6 +89,53 @@ class TestBuiltinRegistry:
         for name, spec in ((s.name, s) for s in algorithms.all_specs()):
             assert spec.max_practical_vertices == hints[name]
 
+    def test_stale_backend_ladder_warns_once_but_hints_survive(
+        self, monkeypatch, tmp_path
+    ):
+        # A ladder measured under the *other* kernel backend is stale: the
+        # hints stay in use (best available estimate) but the first read
+        # raises one RuntimeWarning; the cache absorbs repeat calls.
+        import warnings
+
+        from repro.algorithms import builtin
+        from repro.kernels import active_backend
+
+        other = "numpy" if active_backend() == "python" else "python"
+        ladder = {
+            "schema": "capacity-ladder/v1",
+            "kernel_backend": other,
+            "entries": {"greedy": {"max_practical_vertices": 123}},
+        }
+        path = tmp_path / "CAPACITY.json"
+        path.write_text(json.dumps(ladder), encoding="utf-8")
+        monkeypatch.setattr(builtin, "MEASURED_CAPACITY_PATH", path)
+        monkeypatch.setattr(builtin, "_measured_hints_cache", None)
+        with pytest.warns(RuntimeWarning, match="stale"):
+            assert builtin.measured_capacity_hints() == {"greedy": 123}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert builtin.measured_capacity_hints() == {"greedy": 123}
+
+    def test_unstamped_or_matching_ladders_do_not_warn(self, monkeypatch, tmp_path):
+        import warnings
+
+        from repro.algorithms import builtin
+        from repro.kernels import active_backend
+
+        for stamp in ({}, {"kernel_backend": active_backend()}):
+            ladder = {
+                "schema": "capacity-ladder/v1",
+                "entries": {"greedy": {"max_practical_vertices": 99}},
+                **stamp,
+            }
+            path = tmp_path / "CAPACITY.json"
+            path.write_text(json.dumps(ladder), encoding="utf-8")
+            monkeypatch.setattr(builtin, "MEASURED_CAPACITY_PATH", path)
+            monkeypatch.setattr(builtin, "_measured_hints_cache", None)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert builtin.measured_capacity_hints() == {"greedy": 99}
+
     def test_duplicate_registration_rejected(self):
         # Registered under a throwaway name and removed again: leaking a test
         # algorithm into the global registry would enlarge every

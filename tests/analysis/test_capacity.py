@@ -113,6 +113,26 @@ class TestLadder:
         for entry in ladder["entries"].values():
             assert 875 <= entry["max_practical_vertices"] <= 1000
 
+    def test_ladder_is_stamped_with_measurement_provenance(self):
+        # Capacities are only comparable on the backend/host that measured
+        # them, so every ladder carries the kernel + host context (PR 7).
+        ladder = capacity_ladder(
+            1.0,
+            algorithms=["greedy"],
+            probe_factory=lambda name: linear_cost(1000.0),
+            start_n=64,
+            max_n=512,
+        )
+        from repro.kernels import KERNEL_MODES, active_backend, kernel_mode
+
+        assert ladder["kernel_backend"] == active_backend()
+        assert ladder["kernel_mode"] == kernel_mode()
+        assert ladder["kernel_backend"] in ("python", "numpy")
+        assert ladder["kernel_mode"] in KERNEL_MODES
+        host = ladder["host"]
+        assert set(host) == {"machine", "python", "cpus"}
+        assert isinstance(host["cpus"], int) and host["cpus"] >= 1
+
     def test_ladder_roundtrip_and_render(self, tmp_path):
         ladder = capacity_ladder(
             2.0,

@@ -1,0 +1,345 @@
+"""Backend-equivalence property tests for the vectorized kernel tier (PR 7).
+
+The pure-Python and NumPy/SciPy kernels must produce **identical values** --
+not merely statistically equivalent ones -- because golden protocol counters
+and spanner digests are diffed bit-for-bit across snapshots.  These tests pin
+that contract on random workloads: every public kernel entry point (BFS
+distances, distance vectors/histograms, cluster-table bulk queries, stretch
+reports, the centralized exploration/trace-back pair, and a whole engine
+build) is run under both backends and the results compared with plain ``==``.
+
+Also covered here: the :mod:`repro.kernels` selector rules, the zero-copy
+NumPy/SciPy CSR views and their invalidation through the ``Graph.version``
+contract, and the :class:`DistanceCache` backend-switch behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kernels as kernels
+from repro.analysis.stretch import empirical_additive_term, evaluate_stretch
+from repro.core import build_spanner
+from repro.experiments import default_parameters
+from repro.core.cluster_table import (
+    FlatClusters,
+    flat_collections_partition_vertices,
+)
+from repro.core.parameters import StretchGuarantee
+from repro.graphs import gnp_random_graph
+from repro.graphs.bfs import bfs_distances
+from repro.graphs.distances import distance_histogram, single_source_distances
+from repro.primitives.exploration import centralized_engine_exploration
+from repro.primitives.traceback import centralized_traceback_flat
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy/scipy not installed"
+)
+
+INF = float("inf")
+
+
+@pytest.fixture()
+def kernel(monkeypatch):
+    """Switch kernel modes for one test; globals restored afterwards."""
+    monkeypatch.setattr(kernels, "_requested", None)
+    monkeypatch.delenv(kernels.KERNEL_ENV_VAR, raising=False)
+
+    def switch(mode):
+        monkeypatch.setattr(kernels, "_requested", mode)
+
+    return switch
+
+
+def both_backends(kernel, fn):
+    """Run ``fn`` under the pure-Python and the numpy kernel; return both."""
+    kernel(kernels.KERNEL_PYTHON)
+    python_result = fn()
+    kernel(kernels.KERNEL_NUMPY)
+    numpy_result = fn()
+    return python_result, numpy_result
+
+
+def workload(n, p, seed):
+    return gnp_random_graph(n, p, seed=seed)
+
+
+def voronoi_clusters(graph, centers):
+    """Nearest-reachable-center partition (unreached vertices go singleton)."""
+    dist = {c: bfs_distances(graph, c) for c in centers}
+    vertex_center = {}
+    for v in range(graph.num_vertices):
+        best = min(
+            ((dist[c].get(v, INF), c) for c in centers), key=lambda t: (t[0], t[1])
+        )
+        vertex_center[v] = best[1] if best[0] < INF else v
+    return FlatClusters.from_center_map(graph.num_vertices, vertex_center)
+
+
+# ----------------------------------------------------------------------
+# BFS / distance kernels
+# ----------------------------------------------------------------------
+class TestBFSEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("max_depth", [None, 3])
+    def test_bfs_distances_match(self, kernel, seed, max_depth):
+        graph = workload(90, 0.03, seed)  # sparse enough to leave stragglers
+        for source in (0, 7, 41):
+            py, np_ = both_backends(
+                kernel,
+                lambda s=source: bfs_distances(graph, s, max_depth=max_depth),
+            )
+            assert py == np_
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_single_source_vectors_match(self, kernel, seed):
+        graph = workload(70, 0.05, seed)
+        for source in (0, 13, 69):
+            py, np_ = both_backends(
+                kernel, lambda s=source: list(single_source_distances(graph, s))
+            )
+            assert py == np_
+
+    def test_distance_histogram_matches(self, kernel):
+        graph = workload(60, 0.06, seed=4)
+        py, np_ = both_backends(
+            kernel, lambda: distance_histogram(graph, max_sources=20, seed=1)
+        )
+        assert py == np_
+
+
+# ----------------------------------------------------------------------
+# Cluster-table bulk queries
+# ----------------------------------------------------------------------
+class TestClusterEquivalence:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_bulk_queries_match(self, kernel, seed):
+        graph = workload(80, 0.05, seed)
+        snapshot = voronoi_clusters(graph, centers=[0, 11, 37, 62])
+
+        def query():
+            return {
+                "vertex_to_center": snapshot.vertex_to_center(),
+                "max_radius": snapshot.max_radius_in(graph),
+                "radii": [h.radius_in(graph) for h in snapshot],
+                "summary": snapshot.summary(),
+                "partition": flat_collections_partition_vertices(
+                    [snapshot], graph.num_vertices
+                ),
+            }
+
+        py, np_ = both_backends(kernel, query)
+        assert py == np_
+        assert py["partition"] is True
+
+    def test_partition_check_rejects_overlap_on_both_backends(self, kernel):
+        n = 40
+        full = FlatClusters.from_center_map(n, {v: 0 for v in range(n)})
+        extra = FlatClusters.from_center_map(n, {0: 0})
+        py, np_ = both_backends(
+            kernel, lambda: flat_collections_partition_vertices([full, extra], n)
+        )
+        assert py is False and np_ is False
+
+
+# ----------------------------------------------------------------------
+# Stretch evaluation
+# ----------------------------------------------------------------------
+class TestStretchEquivalence:
+    @pytest.mark.parametrize("seed", [1, 6])
+    def test_reports_match_exactly(self, kernel, seed):
+        graph = workload(70, 0.07, seed)
+        spanner = build_spanner(
+            graph, parameters=default_parameters(), engine="centralized"
+        ).spanner
+        # A deliberately unsatisfiable guarantee so violations are exercised.
+        guarantee = StretchGuarantee(multiplicative=1.0, additive=0.0)
+
+        def run():
+            fresh = evaluate_stretch(graph, spanner, guarantee=guarantee)
+            return {
+                "checked": fresh.pairs_checked,
+                "max_mult": fresh.max_multiplicative,
+                "max_add": fresh.max_additive_surplus,
+                "mean_mult": fresh.mean_multiplicative,
+                "mean_add": fresh.mean_additive_surplus,
+                "violations": fresh.violations,
+                "disconnected": fresh.disconnected_mismatches,
+                "surplus": fresh.surplus_by_distance,
+            }
+
+        py, np_ = both_backends(kernel, run)
+        assert py == np_
+
+    def test_empirical_additive_term_matches(self, kernel):
+        graph = workload(60, 0.08, seed=2)
+        spanner = build_spanner(
+            graph, parameters=default_parameters(), engine="centralized"
+        ).spanner
+        py, np_ = both_backends(
+            kernel, lambda: empirical_additive_term(graph, spanner, 1.0)
+        )
+        assert py == np_
+
+
+# ----------------------------------------------------------------------
+# Centralized exploration + trace-back
+# ----------------------------------------------------------------------
+class TestExplorationEquivalence:
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_exploration_and_traceback_match(self, kernel, depth):
+        graph = workload(80, 0.06, seed=3)
+        centers = [0, 9, 25, 44, 71]
+        requests = {0: [25, 44], 9: [0], 44: [71]}
+
+        def run():
+            exploration = centralized_engine_exploration(
+                graph, centers, depth=depth, cap=10
+            )
+            near = {c: list(v) for c, v in exploration.near_centers.items()}
+            parents = {c: list(v) for c, v in exploration.parents.items()}
+            reachable = {
+                c: [t for t in targets if t in near[c]]
+                for c, targets in requests.items()
+            }
+            edges = centralized_traceback_flat(exploration, reachable)
+            return near, parents, sorted(edges)
+
+        py, np_ = both_backends(kernel, run)
+        assert py == np_
+        # The trace-back edges feed JSON digests: no numpy scalars may leak.
+        for edge in np_[2]:
+            assert all(type(endpoint) is int for endpoint in edge)
+
+
+class TestEngineEquivalence:
+    def test_centralized_build_is_backend_independent(self, kernel):
+        graph = workload(150, 0.04, seed=9)
+
+        def run():
+            result = build_spanner(
+                graph, parameters=default_parameters(), engine="centralized"
+            )
+            return result.nominal_rounds, sorted(result.spanner.edge_set())
+
+        py, np_ = both_backends(kernel, run)
+        assert py == np_
+
+
+# ----------------------------------------------------------------------
+# CSR views and the Graph.version invalidation contract
+# ----------------------------------------------------------------------
+class TestCSRViews:
+    def test_numpy_views_are_zero_copy_and_read_only(self):
+        graph = workload(30, 0.2, seed=0)
+        csr = graph.csr()
+        indptr, adj = csr.indptr_np, csr.adj_np
+        assert not indptr.flags.writeable and not adj.flags.writeable
+        assert list(indptr) == list(csr.indptr)
+        assert list(adj) == list(csr.adj)
+
+    def test_scipy_handle_is_cached_per_snapshot(self):
+        csr = workload(30, 0.2, seed=0).csr()
+        assert csr.scipy_csr() is csr.scipy_csr()
+
+    def test_graph_version_invalidates_the_scipy_view(self, kernel):
+        kernel(kernels.KERNEL_NUMPY)
+        graph = gnp_random_graph(20, 0.0, seed=0)
+        graph.add_edges([(0, 1), (1, 2)])
+        before = graph.csr()
+        matrix = before.scipy_csr()
+        assert matrix.nnz == 2 * graph.num_edges
+        version = graph.version
+        assert graph.add_edge(2, 3)
+        assert graph.version > version
+        after = graph.csr()
+        assert after is not before
+        fresh = after.scipy_csr()
+        assert fresh is not matrix
+        assert fresh.nnz == matrix.nnz + 2
+        # The stale snapshot keeps its (frozen) pre-mutation view.
+        assert matrix.nnz == 4
+
+
+class TestDistanceCacheBackendSwitch:
+    def test_vectors_are_invalidated_on_kernel_switch(self, kernel):
+        graph = workload(25, 0.2, seed=1)
+        cache = graph.distance_cache()
+        kernel(kernels.KERNEL_PYTHON)
+        python_vec = cache.vector(0)
+        assert isinstance(python_vec, list)
+        kernel(kernels.KERNEL_NUMPY)
+        numpy_vec = cache.vector(0)
+        assert not isinstance(numpy_vec, list)  # ndarray from the fresh sweep
+        assert list(python_vec) == list(numpy_vec)
+        # Memoized per backend: repeated reads return the same object.
+        assert cache.vector(0) is numpy_vec
+
+
+# ----------------------------------------------------------------------
+# Selector rules
+# ----------------------------------------------------------------------
+class TestKernelSelector:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.set_kernel("fortran")
+
+    def test_explicit_modes_override_size(self, kernel):
+        kernel(kernels.KERNEL_PYTHON)
+        assert kernels.active_backend(10**9) == "python"
+        assert not kernels.use_numpy(10**9)
+        kernel(kernels.KERNEL_NUMPY)
+        assert kernels.active_backend(1) == "numpy"
+        assert kernels.use_numpy(1)
+
+    def test_auto_threshold(self, kernel):
+        kernel(kernels.KERNEL_AUTO)
+        assert kernels.active_backend(kernels.AUTO_MIN_VERTICES - 1) == "python"
+        assert kernels.active_backend(kernels.AUTO_MIN_VERTICES) == "numpy"
+        # The stamping resolution (num_vertices=None) is the large-n answer.
+        assert kernels.active_backend() == "numpy"
+
+    def test_env_var_resolution(self, kernel, monkeypatch):
+        monkeypatch.setattr(kernels, "_requested", None)
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "python")
+        assert kernels.kernel_mode() == "python"
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "not-a-mode")
+        assert kernels.kernel_mode() == kernels.KERNEL_AUTO
+
+    def test_small_auto_workloads_never_import_numpy(self):
+        # Backend selection (and a whole small-graph build, registry hints
+        # included) must not pay the numpy+scipy import: selection uses a
+        # find_spec probe, the real import happens at first vectorized use.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "import sys\n"
+            "from repro.kernels import active_backend\n"
+            "assert active_backend(100) == 'python'\n"
+            "import repro\n"
+            "from repro.graphs import gnp_random_graph\n"
+            "result = repro.build('new-centralized', gnp_random_graph(40, 0.15, seed=1))\n"
+            "assert result.spanner.num_edges > 0\n"
+            "assert 'numpy' not in sys.modules, 'numpy imported on a small pure-Python workload'\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_set_kernel_mirrors_into_the_environment(self, kernel, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV_VAR, raising=False)
+        import os
+
+        kernels.set_kernel("numpy")
+        try:
+            assert os.environ[kernels.KERNEL_ENV_VAR] == "numpy"
+            assert kernels.kernel_mode() == "numpy"
+        finally:
+            monkeypatch.setattr(kernels, "_requested", None)

@@ -20,9 +20,11 @@ CI_CHECK_PATH = REPO_ROOT / "scripts" / "ci_check.py"
 
 EXPECTED_STAGE_ORDER = [
     "tier-1 tests",
+    "tier-1 tests (pure-python kernel)",
     "golden counters",
     "phase micro-benchmarks (quick mode)",
     "capacity ladder (quick mode)",
+    "capacity ladder (quick mode, numpy kernel)",
     "fault injection (quick mode)",
     "store-corruption smoke",
     "experiments-md drift",
@@ -77,20 +79,50 @@ class TestStagePlan:
         assert [name for name, _ in plan] == EXPECTED_STAGE_ORDER
         assert all(cmd is not None for _, cmd in plan)
 
-    def test_fast_skips_only_the_pytest_stage(self, ci_check):
+    def test_fast_skips_only_the_pytest_stages(self, ci_check):
         plan = ci_check.stage_plan(_args(fast=True), "snap.json")
         assert [name for name, _ in plan] == EXPECTED_STAGE_ORDER
         commands = dict(plan)
         assert commands["tier-1 tests"] is None
+        assert commands["tier-1 tests (pure-python kernel)"] is None
         assert all(
-            commands[name] is not None for name in EXPECTED_STAGE_ORDER[1:]
+            commands[name] is not None for name in EXPECTED_STAGE_ORDER[2:]
         )
 
-    def test_junitxml_passes_through_to_pytest_stage_only(self, ci_check):
+    def test_junitxml_passes_through_to_default_pytest_stage_only(self, ci_check):
         plan = dict(ci_check.stage_plan(_args(junitxml="report.xml"), "snap.json"))
         assert "--junitxml=report.xml" in plan["tier-1 tests"]
         for name in EXPECTED_STAGE_ORDER[1:]:
             assert not any("junitxml" in part for part in plan[name])
+
+    def test_pure_python_stage_pins_the_kernel_env(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        pure = plan["tier-1 tests (pure-python kernel)"]
+        assert pure[0] == "REPRO_KERNEL=python"
+        assert "pytest" in pure
+
+    def test_numpy_capacity_stage_forces_the_kernel_flag(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        capacity = plan["capacity ladder (quick mode, numpy kernel)"]
+        assert "--kernel" in capacity
+        assert "numpy" in capacity
+        assert ci_check.QUICK_CAPACITY_BUDGET in capacity
+
+    def test_run_stage_applies_leading_env_assignments(self, ci_check, monkeypatch, no_github):
+        seen = {}
+
+        def fake_run(cmd, cwd=None, env=None):
+            seen["cmd"] = list(cmd)
+            seen["env"] = env
+            from types import SimpleNamespace
+
+            return SimpleNamespace(returncode=0)
+
+        monkeypatch.setattr(ci_check.subprocess, "run", fake_run)
+        result = ci_check.run_stage("env demo", ["FOO_BAR=baz", "true"])
+        assert result.ok
+        assert seen["cmd"] == ["true"]
+        assert seen["env"]["FOO_BAR"] == "baz"
 
     def test_snapshot_path_reaches_the_golden_stage(self, ci_check):
         plan = dict(ci_check.stage_plan(_args(), "kept-snapshot.json"))
@@ -132,7 +164,7 @@ class TestMainOrchestration:
         fake = FakeRun()
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         assert ci_check.main(["--fast"]) == 0
-        assert len(fake.calls) == len(EXPECTED_STAGE_ORDER) - 1
+        assert len(fake.calls) == len(EXPECTED_STAGE_ORDER) - 2
         assert not any("pytest" in call[2] if len(call) > 2 else False for call in fake.calls[:1])
         out = capsys.readouterr().out
         assert "tier-1 tests: skipped" in out
@@ -141,8 +173,8 @@ class TestMainOrchestration:
         fake = FakeRun(returncodes={"bench_compare.py": 3})
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         assert ci_check.main([]) == 1
-        # tier-1 + golden ran; every later stage was skipped.
-        assert len(fake.calls) == 2
+        # both tier-1 stages + golden ran; every later stage was skipped.
+        assert len(fake.calls) == 3
         out = capsys.readouterr().out
         assert "FAILED (exit 3)" in out
         assert "phase micro-benchmarks (quick mode): skipped (earlier stage failed)" in out
@@ -155,7 +187,7 @@ class TestMainOrchestration:
         snapshot.write_text("{}", encoding="utf-8")
         assert ci_check.main(["--snapshot", str(snapshot)]) == 0
         assert snapshot.exists()
-        golden_call = fake.calls[1]
+        golden_call = fake.calls[2]
         assert str(snapshot) in golden_call
 
 
