@@ -1,0 +1,97 @@
+"""Benchmark D1 (PR 8): incremental maintenance vs. rebuild-every-step.
+
+Replays a growth-only churn trace twice through the same algorithm:
+
+* **incremental** -- a :class:`~repro.dynamic.maintenance.DynamicSpanner`
+  with its default (``touched``) certificate absorbs each batch;
+* **rebuild strawman** -- the same wrapper with ``rebuild_budget=0``, which
+  degenerates to a full re-cluster after every step.
+
+Both runs end in a spanner satisfying the same declared guarantee (the
+scenario checks prove that elsewhere); what this benchmark pins is the
+*crossover*: on insert-only churn the incremental path must beat the
+strawman both in abstract work units (deterministic, recorded through
+``extra_info`` and diffed by ``scripts/bench_compare.py``) and in measured
+wall-clock within a generous pinned budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dynamic import ChurnTrace, run_trace
+
+#: The growth workload: large enough that a per-step rebuild visibly loses,
+#: small enough that the whole benchmark stays comfortably sub-second.
+TRACE = dict(kind="growth", family="sparse_gnp", size=256, steps=10, batch_size=8, seed=17)
+
+#: Pinned wall-clock budget for the incremental replay (reference machine:
+#: well under 0.1s; the budget only catches an accidental quadratic path).
+INCREMENTAL_BUDGET_S = 5.0
+
+#: The edge-local maintenance path must do strictly better than this
+#: fraction of the rebuild-every-step strawman's abstract work.
+CROSSOVER_FRACTION = 0.5
+
+
+def _trace() -> ChurnTrace:
+    return ChurnTrace(**TRACE)
+
+
+def _replay(rebuild_budget):
+    start = time.perf_counter()
+    dynamic = run_trace(
+        "baswana-sen", _trace(), seed=7, rebuild_budget=rebuild_budget
+    )
+    return dynamic, time.perf_counter() - start
+
+
+def test_dynamic_growth_incremental(benchmark):
+    """Incremental absorption over the growth trace, within the budget."""
+    dynamic, seconds = benchmark.pedantic(
+        lambda: _replay(None), rounds=1, iterations=1
+    )
+    assert seconds <= INCREMENTAL_BUDGET_S, (
+        f"incremental growth replay took {seconds:.2f}s "
+        f"(budget {INCREMENTAL_BUDGET_S}s)"
+    )
+    assert dynamic.rebuild_count == 0
+    benchmark.extra_info["work_units"] = dynamic.total_work_units()
+    benchmark.extra_info["spanner_edges"] = dynamic.spanner.num_edges
+    benchmark.extra_info["graph_edges"] = dynamic.graph.num_edges
+
+
+def test_dynamic_growth_rebuild_strawman(benchmark):
+    """The rebuild-every-step policy on the identical trace, for contrast."""
+    dynamic, seconds = benchmark.pedantic(
+        lambda: _replay(0), rounds=1, iterations=1
+    )
+    assert dynamic.rebuild_count == len(dynamic.records)
+    benchmark.extra_info["work_units"] = dynamic.total_work_units()
+    benchmark.extra_info["spanner_edges"] = dynamic.spanner.num_edges
+
+
+def test_dynamic_growth_crossover(benchmark):
+    """The acceptance criterion: incremental beats full rebuild on growth."""
+
+    def run():
+        incremental, inc_seconds = _replay(None)
+        strawman, straw_seconds = _replay(0)
+        return incremental, strawman, inc_seconds, straw_seconds
+
+    incremental, strawman, inc_seconds, straw_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    inc_work = incremental.total_work_units()
+    straw_work = strawman.total_work_units()
+    assert inc_work < CROSSOVER_FRACTION * straw_work, (
+        f"incremental work {inc_work} not below "
+        f"{CROSSOVER_FRACTION} x strawman work {straw_work}"
+    )
+    assert inc_seconds < straw_seconds, (
+        f"incremental replay ({inc_seconds:.3f}s) slower than "
+        f"rebuild-every-step ({straw_seconds:.3f}s)"
+    )
+    benchmark.extra_info["incremental_work"] = inc_work
+    benchmark.extra_info["strawman_work"] = straw_work
+    benchmark.extra_info["work_ratio"] = round(inc_work / max(1, straw_work), 4)

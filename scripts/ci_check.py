@@ -25,11 +25,15 @@ Runs, in order (see :func:`stage_plan`):
    chaos-primitives matrix with a wall-clock task timeout: every injected
    fault schedule must terminate in a typed outcome (the scenario checks
    enforce it) and the failure manifest must validate against its schema.
-8. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
+8. ``dynamic churn (quick mode)`` -- ``repro dynamic`` over the
+   dynamic-churn matrix: every incremental-capable algorithm maintains its
+   spanner through seeded churn traces and the scenario checks re-verify the
+   declared guarantee after every single step.
+9. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
    cached task entry, then prove the store invalidates it, recomputes exactly
    that task on resume, and reproduces a byte-identical record.
-9. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
-   current algorithm/scenario registries.
+10. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
+    current algorithm/scenario registries.
 
 Stages run sequentially and the first failure stops the run (later stages
 are reported as skipped).  Exit status is non-zero if any stage fails.
@@ -68,6 +72,11 @@ QUICK_CAPACITY_START_N = "32"
 #: whole matrix runs in well under a second) but finite, so a wedged fault
 #: schedule quarantines instead of hanging CI.
 QUICK_CHAOS_TASK_TIMEOUT = "120"
+
+#: Wall-clock limit of the quick-mode dynamic stage's tasks: each task
+#: replays one small churn trace with exhaustive per-step verification, so
+#: the whole matrix finishes in seconds; the limit only catches hangs.
+QUICK_DYNAMIC_TASK_TIMEOUT = "120"
 
 
 @dataclass
@@ -194,6 +203,19 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
                 "chaos-primitives",
                 "--task-timeout",
                 QUICK_CHAOS_TASK_TIMEOUT,
+            ],
+        ),
+        (
+            "dynamic churn (quick mode)",
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "dynamic",
+                "--scenario",
+                "dynamic-churn",
+                "--task-timeout",
+                QUICK_DYNAMIC_TASK_TIMEOUT,
             ],
         ),
         (

@@ -65,6 +65,8 @@ PAPER_CLAIMS = {
     "scaling-growth": "Scale tier: the distributed engine's empirical CONGEST rounds/messages across the new families must grow consistently with the declared O(beta)-phase bound (rounds under the closed-form bound, exponent within rho plus slack, messages under the bandwidth ceiling).",
     "chaos-primitives": "Fault tier: every fault-hardened primitive (bounded exploration, BFS forest, ruling set) under every injected fault profile (drops, duplicates, delays, crash-stop, a mixed storm) must terminate in a typed outcome -- exact, verified-degraded (safety re-proved against the real graph), or a typed protocol fault.",
     "chaos-sweep": "Fault tier: a drop-rate x crash-fraction grid over the BFS forest; exactness erodes with fault pressure while every safety guarantee (tree edges real, distances are upper bounds, roots self-consistent) holds on every terminating schedule.",
+    "dynamic-churn": "Dynamic tier: every incremental-capable algorithm maintains its spanner through steady-state churn traces (uniform, sliding-window, hotspot); the declared stretch guarantee is re-verified exhaustively after every single step and the final spanner stays within a bounded sparseness factor of a from-scratch rebuild.",
+    "dynamic-growth": "Dynamic tier: on insert-only traces, absorption (insert a new edge only when the maintained spanner already violates the guarantee on it) preserves the guarantee at every step, and edge-local maintenance undercuts the rebuild-every-step work proxy -- the incremental-vs-rebuild crossover.",
 }
 
 DOC_HEADER = """\
@@ -229,6 +231,19 @@ def check_drift() -> int:
     return 0
 
 
+def _compact_row(row):
+    """Elide nested row lists (e.g. the dynamic tier's per-step records):
+    they belong in the JSON records, not in a one-line markdown cell."""
+    return {
+        key: (
+            f"[{len(value)} nested rows]"
+            if isinstance(value, list) and value and isinstance(value[0], dict)
+            else value
+        )
+        for key, value in row.items()
+    }
+
+
 def record_to_markdown(record, max_rows=40):
     lines = ["**Checks**: " + ", ".join(
         f"{name} = {'PASS' if ok else 'FAIL'}" for name, ok in sorted(record.checks.items())
@@ -236,7 +251,7 @@ def record_to_markdown(record, max_rows=40):
     if record.parameters:
         lines.append("")
         lines.append("Parameters: " + ", ".join(f"`{k}={v}`" for k, v in sorted(record.parameters.items())))
-    rows = record.rows[:max_rows]
+    rows = [_compact_row(row) for row in record.rows[:max_rows]]
     if rows:
         groups = []
         for row in rows:

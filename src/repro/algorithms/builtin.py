@@ -178,6 +178,7 @@ NEW_CENTRALIZED = register(
         tags=("engine", "deterministic", "centralized", "near-additive", "paper"),
         params=STRETCH_PARAMS,
         guarantee=_engine_guarantee,
+        supports_incremental=True,
         max_practical_vertices=_measured_hint("new-centralized", None),
     )
 )
@@ -195,7 +196,10 @@ NEW_DISTRIBUTED = register(
         guarantee=_engine_guarantee,
         # Simulating every CONGEST round is the point, and the price; the
         # measured ladder says where a full simulated build stops being
-        # interactive (hand-set 300 is the ladder-less fallback).
+        # interactive (hand-set 300 is the ladder-less fallback).  Per-step
+        # rebuilds under churn would pay that simulation over and over, so the
+        # dynamic tier wraps the centralized twin instead.
+        supports_incremental=False,
         max_practical_vertices=_measured_hint("new-distributed", 300),
     )
 )
@@ -226,6 +230,7 @@ ELKIN_NEIMAN = register(
         tags=("baseline", "randomized", "centralized", "near-additive"),
         params=STRETCH_PARAMS,
         guarantee=_elkin_neiman_guarantee,
+        supports_incremental=True,
         max_practical_vertices=_measured_hint("elkin-neiman-2017", None),
     )
 )
@@ -253,6 +258,7 @@ ELKIN_PELEG = register(
         tags=("baseline", "deterministic", "centralized", "near-additive"),
         params=STRETCH_PARAMS,
         guarantee=_elkin_peleg_guarantee,
+        supports_incremental=True,
         max_practical_vertices=_measured_hint("elkin-peleg-2001", None),
     )
 )
@@ -280,6 +286,7 @@ ELKIN05_SURROGATE = register(
         tags=("baseline", "deterministic", "congest", "near-additive"),
         params=STRETCH_PARAMS,
         guarantee=_elkin05_guarantee,
+        supports_incremental=True,
         max_practical_vertices=_measured_hint("elkin05-surrogate", None),
     )
 )
@@ -312,6 +319,7 @@ BASWANA_SEN = register(
         tags=("baseline", "randomized", "centralized", "multiplicative"),
         params=MULTIPLICATIVE_PARAMS,
         guarantee=_baswana_sen_guarantee,
+        supports_incremental=True,
         max_practical_vertices=_measured_hint("baswana-sen", None),
     )
 )
@@ -351,6 +359,7 @@ GREEDY = register(
         # Each candidate edge pays a bounded-depth BFS in the partial spanner;
         # the measured ladder says where the quadratic-ish scan stops being
         # interactive (hand-set 400 is the ladder-less fallback).
+        supports_incremental=True,
         max_practical_vertices=_measured_hint("greedy", 400),
     )
 )

@@ -87,6 +87,13 @@ class AlgorithmSpec:
     #: Largest vertex count the construction is practical for (``None`` =
     #: no declared limit).  Consulted uniformly via :meth:`practical_for`.
     max_practical_vertices: Optional[int] = None
+    #: Capability hint consumed by the dynamic tier
+    #: (:class:`repro.dynamic.DynamicSpanner`): whether rebuilding this
+    #: construction per churn step is cheap enough that incremental
+    #: maintenance can wrap it.  ``False`` for builders whose every run pays
+    #: a cost far beyond the centralized references (e.g. a full CONGEST
+    #: simulation).
+    supports_incremental: bool = False
 
     # ------------------------------------------------------------------
     # Parameter handling
@@ -179,6 +186,7 @@ class AlgorithmSpec:
                 }
             ),
             "max_practical_vertices": self.max_practical_vertices,
+            "supports_incremental": self.supports_incremental,
         }
 
 
@@ -233,12 +241,14 @@ def all_specs() -> List[AlgorithmSpec]:
 def select(
     tags: Optional[Iterable[str]] = None,
     max_vertices: Optional[int] = None,
+    supports_incremental: Optional[bool] = None,
 ) -> List[AlgorithmSpec]:
     """Registry query: algorithms carrying every given tag, practical at ``max_vertices``.
 
     This is the function scenario matrices build their algorithm axes from;
     engine variants (tag ``engine``) sort before baselines so comparison
-    tables lead with the paper's algorithm.
+    tables lead with the paper's algorithm.  ``supports_incremental`` (when
+    not ``None``) additionally filters on the dynamic-tier capability hint.
     """
     wanted = set(tags or ())
     specs = [
@@ -246,6 +256,10 @@ def select(
         for spec in all_specs()
         if wanted <= set(spec.tags)
         and (max_vertices is None or spec.practical_for(max_vertices))
+        and (
+            supports_incremental is None
+            or spec.supports_incremental == supports_incremental
+        )
     ]
     specs.sort(key=lambda spec: (0 if "engine" in spec.tags else 1, spec.name))
     return specs

@@ -145,6 +145,36 @@ def render_fault_summary(record) -> str:
     return render_table(rows, title=f"fault summary: {record.name}")
 
 
+def render_dynamic_summary(record) -> str:
+    """Per-task summary of a dynamic :class:`ExperimentRecord`.
+
+    One line per (algorithm, churn kind) grid point: the per-step guarantee
+    verdict, how the maintenance decisions split between absorb / repair /
+    rebuild, and the incremental-vs-rebuild work comparison the dynamic tier
+    exists to measure.
+    """
+    rows = []
+    for row in record.rows:
+        steps = row.get("steps") or ()
+        decisions = [step.get("decision") for step in steps]
+        rows.append(
+            {
+                "algorithm": row.get("algorithm"),
+                "kind": row.get("kind"),
+                "cert": row.get("certificate"),
+                "steps_ok": "yes" if row.get("steps_ok") else "NO",
+                "absorbed": decisions.count("absorbed"),
+                "repaired": decisions.count("repaired"),
+                "rebuilds": row.get("rebuilds"),
+                "inc_work": row.get("incremental_work"),
+                "rebuild_work": row.get("rebuild_proxy_work"),
+                "m_maintained": row.get("maintained_edges"),
+                "m_rebuilt": row.get("rebuilt_edges"),
+            }
+        )
+    return render_table(rows, title=f"dynamic summary: {record.name}")
+
+
 def render_suite_manifest(manifest: Dict[str, object]) -> str:
     """Render a suite-run manifest (per-scenario status, checks, cache hits, wall-clock).
 

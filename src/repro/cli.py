@@ -14,6 +14,8 @@ Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
     repro chaos --jobs 4 --task-timeout 120 --task-retries 1
     repro chaos --scenario chaos-sweep --failures failures.json
     repro chaos --store-smoke
+    repro dynamic
+    repro dynamic --scenario dynamic-churn --jobs 4 --store .repro-store --resume
     repro capacity --budget 5
     repro capacity --budget 5 --json ladder.json --update-defaults
     repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
@@ -59,6 +61,13 @@ Sub-commands:
     the quarantined-task manifest, and ``--store-smoke`` runs a
     store-corruption self-test (corrupt one cached entry, prove it is
     invalidated and recomputed without changing the record).
+``dynamic``
+    Run the dynamic tier: every ``dynamic``-tagged scenario replays seeded
+    edge-churn traces (growth, uniform, sliding-window, hotspot) through
+    incremental spanner maintenance and re-verifies the declared stretch
+    guarantee after every step; prints the per-task dynamic summary
+    (absorb/repair/rebuild decisions, incremental-vs-rebuild work) plus the
+    suite manifest.
 ``capacity``
     Measure the capacity ladder: binary-search the largest practical vertex
     count per registered algorithm under a wall-clock budget (``--budget``
@@ -80,6 +89,7 @@ from typing import Dict, Optional, Sequence
 from . import algorithms
 from .analysis import (
     evaluate_run_stretch,
+    render_dynamic_summary,
     render_fault_summary,
     render_run_result,
     render_suite_manifest,
@@ -392,6 +402,41 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    error = _check_resume(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    specs = all_specs("dynamic")
+    if args.scenario:
+        specs = [spec for spec in specs if spec.name == args.scenario]
+        if not specs:
+            names = ", ".join(spec.name for spec in all_specs("dynamic"))
+            print(
+                f"unknown dynamic scenario {args.scenario!r}; choose from: {names}",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_suite(
+        specs,
+        jobs=args.jobs,
+        store=args.store,
+        resume=args.resume,
+        task_timeout=args.task_timeout,
+    )
+    for outcome in result.outcomes:
+        if outcome.record is not None:
+            print(render_dynamic_summary(outcome.record))
+            print()
+    manifest = result.manifest()
+    print(render_suite_manifest(manifest))
+    if args.records:
+        records = list(result.records.values())
+        paths = save_records(records, args.records)
+        print(f"saved {len(paths)} records to {args.records}")
+    return 0 if result.ok else 1
+
+
 def _cmd_capacity(args: argparse.Namespace) -> int:
     if args.budget <= 0:
         print("--budget must be positive", file=sys.stderr)
@@ -583,6 +628,26 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="run the store-corruption smoke test instead of the scenarios",
     )
     chaos_parser.set_defaults(handler=_cmd_chaos)
+
+    dynamic_parser = subparsers.add_parser(
+        "dynamic",
+        help="run the edge-churn scenarios: incremental maintenance, verified every step",
+    )
+    dynamic_parser.add_argument(
+        "--scenario", type=str, default=None,
+        help="run only this dynamic scenario (default: every dynamic-tagged one)",
+    )
+    dynamic_parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial; results are identical)")
+    dynamic_parser.add_argument("--store", type=str, default=None, help="result-store directory for task caching")
+    dynamic_parser.add_argument("--resume", action="store_true", help="reuse stored task results; only invalidated tasks recompute")
+    dynamic_parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="quarantine any task that exceeds this many wall-clock seconds",
+    )
+    dynamic_parser.add_argument(
+        "--records", type=str, default=None, help="directory to save every record as JSON"
+    )
+    dynamic_parser.set_defaults(handler=_cmd_dynamic)
 
     capacity_parser = subparsers.add_parser(
         "capacity",

@@ -56,6 +56,9 @@ _BUILTIN_SCENARIO_MODULES = (
     "repro.experiments.ablation",
     "repro.experiments.families",
     "repro.experiments.chaos",
+    # The dynamic tier lives in its own package (repro.dynamic) but its
+    # scenarios register through this same registry like everyone else's.
+    "repro.dynamic.scenarios",
 )
 
 

@@ -65,10 +65,12 @@ class Graph:
 
     @property
     def version(self) -> int:
-        """Mutation counter: bumped on every successful edge add/remove.
+        """Mutation counter: bumped only when the edge set actually changes.
 
         Snapshots and caches (:meth:`csr`, :meth:`distance_cache`) use this to
-        detect staleness.
+        detect staleness.  No-op mutations -- adding an edge that is already
+        present, removing one that is absent, or a batch of such edges --
+        leave the counter (and therefore every derived cache) untouched.
         """
         return self._version
 
@@ -209,6 +211,36 @@ class Graph:
         self._num_edges -= 1
         self._invalidate()
         return True
+
+    def remove_edges(self, edges: Iterable[Edge]) -> int:
+        """Remove many edges; return the number of edges actually removed.
+
+        Batch path mirroring :meth:`add_edges`: absent edges are skipped and
+        the derived snapshots are invalidated once at the end (and only when
+        something was actually removed), so a no-op batch leaves
+        :attr:`version`, the CSR snapshot and the distance cache untouched.
+        """
+        removed = 0
+        adj = self._adj
+        n = self._n
+        try:
+            for u, v in edges:
+                if not (0 <= u < n and 0 <= v < n):
+                    self._check_vertex(u)
+                    self._check_vertex(v)
+                adj_u = adj[u]
+                if v not in adj_u:
+                    continue
+                adj_u.discard(v)
+                adj[v].discard(u)
+                removed += 1
+        finally:
+            # An invalid edge mid-batch must not desynchronize the edge count
+            # or leave stale CSR/distance snapshots for the edges already out.
+            if removed:
+                self._num_edges -= removed
+                self._invalidate()
+        return removed
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -1,0 +1,100 @@
+"""Regression tests for the batched-mutation / no-op version contract (PR 8).
+
+The dynamic tier replays churn deltas against live graphs, so the version
+counter must move *only* when the edge set actually changes: a no-op delta
+(re-adding present edges, removing absent ones) must not invalidate the
+cached CSR snapshot or the BFS distance cache, and a real batch must pay
+exactly one invalidation, not one per edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph
+
+
+def small_graph():
+    return Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+
+
+class TestNoOpMutations:
+    def test_add_existing_edge_keeps_version(self):
+        g = small_graph()
+        version = g.version
+        assert g.add_edge(0, 1) is False
+        assert g.add_edge(1, 0) is False
+        assert g.version == version
+
+    def test_add_existing_edge_keeps_csr_and_distance_cache(self):
+        g = small_graph()
+        csr = g.csr()
+        cache = g.distance_cache()
+        before = list(cache.vector(0))
+        g.add_edge(2, 1)
+        assert g.csr() is csr
+        assert g.distance_cache() is cache
+        assert list(g.distance_cache().vector(0)) == before
+
+    def test_remove_absent_edge_keeps_version_and_caches(self):
+        g = small_graph()
+        csr = g.csr()
+        version = g.version
+        assert g.remove_edge(0, 2) is False
+        assert g.version == version
+        assert g.csr() is csr
+
+    def test_all_duplicate_add_batch_keeps_version(self):
+        g = small_graph()
+        csr = g.csr()
+        version = g.version
+        assert g.add_edges([(0, 1), (2, 1), (4, 5)]) == 0
+        assert g.version == version
+        assert g.csr() is csr
+
+    def test_all_absent_remove_batch_keeps_version(self):
+        g = small_graph()
+        cache = g.distance_cache()
+        version = g.version
+        assert g.remove_edges([(0, 2), (1, 3), (2, 5)]) == 0
+        assert g.version == version
+        assert g.distance_cache() is cache
+
+
+class TestBatchedRemoveEdges:
+    def test_removes_present_edges_and_skips_absent(self):
+        g = small_graph()
+        assert g.remove_edges([(0, 1), (1, 0), (1, 3), (3, 2)]) == 2
+        assert g.num_edges == 4
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)
+        assert g.has_edge(1, 2)
+
+    def test_one_version_bump_per_batch(self):
+        g = small_graph()
+        version = g.version
+        g.remove_edges([(0, 1), (1, 2), (2, 3)])
+        assert g.version == version + 1
+
+    def test_mirrors_add_edges_round_trip(self):
+        g = small_graph()
+        edges = [(0, 1), (2, 3)]
+        g.remove_edges(edges)
+        g.add_edges(edges)
+        assert g == small_graph()
+
+    def test_invalid_vertex_mid_batch_keeps_count_consistent(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            g.remove_edges([(0, 1), (0, 99)])
+        # The valid prefix was removed and the bookkeeping kept in sync.
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == len(g.edge_set()) == 5
+
+    def test_batch_invalidates_snapshots_when_something_removed(self):
+        g = small_graph()
+        csr = g.csr()
+        cache = g.distance_cache()
+        g.remove_edges([(0, 1)])
+        assert g.csr() is not csr
+        assert g.distance_cache() is not cache

@@ -26,6 +26,7 @@ EXPECTED_STAGE_ORDER = [
     "capacity ladder (quick mode)",
     "capacity ladder (quick mode, numpy kernel)",
     "fault injection (quick mode)",
+    "dynamic churn (quick mode)",
     "store-corruption smoke",
     "experiments-md drift",
 ]
@@ -143,6 +144,13 @@ class TestStagePlan:
         assert "chaos" in chaos
         assert "chaos-primitives" in chaos
         assert ci_check.QUICK_CHAOS_TASK_TIMEOUT in chaos
+
+    def test_dynamic_stage_is_quick_mode_with_a_task_timeout(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        dynamic = plan["dynamic churn (quick mode)"]
+        assert "dynamic" in dynamic
+        assert "dynamic-churn" in dynamic
+        assert ci_check.QUICK_DYNAMIC_TASK_TIMEOUT in dynamic
 
     def test_store_smoke_stage_runs_the_corruption_self_test(self, ci_check):
         plan = dict(ci_check.stage_plan(_args(), "snap.json"))
