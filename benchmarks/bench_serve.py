@@ -1,0 +1,109 @@
+"""Benchmark S1 (PR 9): the serving tier under a mixed, Zipf-skewed load.
+
+Two measurements cap the serving tier:
+
+* **mixed load** -- a seeded closed-loop stream of build / stretch-query /
+  distance-query requests over a Zipf-popular key catalogue.  The pinned
+  facts are deterministic (recorded through ``extra_info`` and diffed by
+  ``scripts/bench_compare.py``): zero dropped responses, a cache hit rate
+  above :data:`HIT_RATE_FLOOR`, at least one coalesced response, and a pool
+  submission count equal to the number of *distinct* builds (each build
+  computed at most once).  Throughput and latency quantiles ride along as
+  measured context.
+* **coalescing proof** -- :data:`COALESCE_FAN` identical build requests
+  submitted before any resolves: exactly one reaches the process pool, one
+  response is ``computed`` and the rest are ``coalesced``.
+
+Wall-clock budgets are generous (reference machine: well under a second
+each); they only catch an accidental serial-recompute path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.registry import canonical_json
+from repro.serve import (
+    SpannerService,
+    default_catalogue,
+    generate_requests,
+    run_load,
+)
+
+#: The mixed stream: large enough that the Zipf head repeats many times over
+#: the 12-key catalogue, small enough to stay sub-second end to end.
+LOAD = dict(count=1500, seed=0)
+
+#: Closed-loop window and worker-pool width for the mixed load.
+CONCURRENCY = 8
+WORKERS = 2
+
+#: Acceptance floor for the mixed-load cache hit rate (ISSUE: > 50%).
+HIT_RATE_FLOOR = 0.5
+
+#: Pinned wall-clock budget for the whole mixed-load run.
+LOAD_BUDGET_S = 30.0
+
+#: Fan-in of the coalescing proof: identical concurrent build misses.
+COALESCE_FAN = 6
+
+
+def test_serve_mixed_load(benchmark):
+    """The mixed Zipf load: throughput, latency quantiles, cache behavior."""
+
+    def run():
+        requests = generate_requests(**LOAD)
+        start = time.perf_counter()
+        with SpannerService(workers=WORKERS) as service:
+            report = run_load(service, requests, concurrency=CONCURRENCY)
+        return report, time.perf_counter() - start
+
+    report, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = report.to_dict()
+    assert seconds <= LOAD_BUDGET_S, (
+        f"mixed load took {seconds:.2f}s (budget {LOAD_BUDGET_S}s)"
+    )
+    assert summary["dropped"] == 0
+    assert summary["failure_count"] == 0
+    assert not summary["status_counts"].get("failed")
+    assert not summary["status_counts"].get("rejected")
+    assert summary["hit_rate"] > HIT_RATE_FLOOR, (
+        f"hit rate {summary['hit_rate']} not above {HIT_RATE_FLOOR}"
+    )
+    assert summary["status_counts"].get("coalesced", 0) > 0
+    # Single-flight + memoization: every distinct build computes at most once.
+    distinct_builds = len(default_catalogue(LOAD["seed"]))
+    assert summary["stats"]["pool_submissions"] <= distinct_builds
+    benchmark.extra_info["requests"] = summary["requests"]
+    benchmark.extra_info["dropped"] = summary["dropped"]
+    benchmark.extra_info["hit_rate"] = summary["hit_rate"]
+    benchmark.extra_info["coalesced"] = summary["status_counts"].get("coalesced", 0)
+    benchmark.extra_info["computed"] = summary["status_counts"].get("computed", 0)
+    benchmark.extra_info["pool_submissions"] = summary["stats"]["pool_submissions"]
+    benchmark.extra_info["max_batch"] = summary["max_batch"]
+    benchmark.extra_info["throughput_rps"] = summary["throughput_rps"]
+    benchmark.extra_info["latency_p50_ms"] = summary["latency_ms"]["p50"]
+    benchmark.extra_info["latency_p99_ms"] = summary["latency_ms"]["p99"]
+
+
+def test_serve_coalescing(benchmark):
+    """Identical concurrent build misses collapse to one computation."""
+    build = default_catalogue(0)[0]
+
+    def run():
+        with SpannerService(workers=WORKERS) as service:
+            tickets = [service.submit(build) for _ in range(COALESCE_FAN)]
+            responses = [service.resolve(ticket) for ticket in tickets]
+            stats = service.stats_snapshot()
+        return responses, stats
+
+    responses, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    statuses = [response.status for response in responses]
+    assert stats["pool_submissions"] == 1, statuses
+    assert statuses.count("computed") == 1
+    assert statuses.count("coalesced") == COALESCE_FAN - 1
+    payloads = {canonical_json(response.payload) for response in responses}
+    assert len(payloads) == 1, "coalesced responses must share the payload"
+    benchmark.extra_info["fan"] = COALESCE_FAN
+    benchmark.extra_info["pool_submissions"] = stats["pool_submissions"]
+    benchmark.extra_info["coalesced"] = statuses.count("coalesced")

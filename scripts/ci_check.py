@@ -32,7 +32,11 @@ Runs, in order (see :func:`stage_plan`):
 9. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
    cached task entry, then prove the store invalidates it, recomputes exactly
    that task on resume, and reproduces a byte-identical record.
-10. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
+10. ``serve smoke (quick mode)`` -- ``repro serve --check`` on a small seeded
+    mixed load: the request broker must show cache hits and coalesced
+    single-flight builds and lose no request (zero dropped / failed /
+    rejected responses).
+11. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
     current algorithm/scenario registries.
 
 Stages run sequentially and the first failure stops the run (later stages
@@ -77,6 +81,11 @@ QUICK_CHAOS_TASK_TIMEOUT = "120"
 #: replays one small churn trace with exhaustive per-step verification, so
 #: the whole matrix finishes in seconds; the limit only catches hangs.
 QUICK_DYNAMIC_TASK_TIMEOUT = "120"
+
+#: Request count of the quick-mode serve smoke: enough traffic over the
+#: 12-key Zipf catalogue that hits and coalesced builds are guaranteed, small
+#: enough to finish in a couple of seconds.
+QUICK_SERVE_REQUESTS = "200"
 
 
 @dataclass
@@ -226,6 +235,22 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
                 "repro",
                 "chaos",
                 "--store-smoke",
+            ],
+        ),
+        (
+            "serve smoke (quick mode)",
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--requests",
+                QUICK_SERVE_REQUESTS,
+                "--concurrency",
+                "8",
+                "--workers",
+                "2",
+                "--check",
             ],
         ),
         (

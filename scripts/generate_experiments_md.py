@@ -158,7 +158,39 @@ Entries hold the canonical payload the pipeline merges, so a cache hit is
 byte-for-byte indistinguishable from a fresh computation.  Writes are atomic
 (temp file + rename), and every read re-verifies the `payload_sha256`
 integrity checksum: a corrupted, truncated or stale-schema entry is treated
-as a miss, deleted, and recomputed on the next `--resume` run.
+as a miss, deleted, and recomputed on the next `--resume` run.  Each store
+instance also keeps an in-memory *hot layer* of already-verified entries
+(guarded by the file's stat signature), so repeated reads of an unchanged
+entry skip the re-read and the re-hash; `repro store audit` re-verifies every
+entry from disk, invalidating any corruption it finds.
+
+## Serving tier
+
+`repro serve` drives a long-lived request broker (in-process API:
+`repro.serve.ServiceHandle`) that answers `build`, `stretch-query` and
+`distance-query` requests with the cheapest sufficient mechanism -- warm
+in-memory snapshots, then the result store, then a bounded process pool:
+
+```
+PYTHONPATH=src python -m repro serve [--requests N] [--concurrency W] \\
+    [--seed S] [--workers K] [--queue-limit Q] [--request-timeout SECONDS] \\
+    [--store DIR] [--json out.json] [--failures out.json] [--check]
+PYTHONPATH=src python -m repro store audit --store DIR [--scenario NAME]
+```
+
+The load is a seeded, Zipf-skewed mixed stream over a deterministic build
+catalogue (a pure function of `--seed`).  Identical in-flight build misses
+coalesce into one computation (single-flight, keyed by the store's content
+address), queries batch per warm snapshot so they share the graph's
+distance-cache sweeps, and requests beyond `--queue-limit` are rejected with
+typed backpressure responses recorded in the same failure-manifest schema the
+pipeline uses.  Responses carry provenance (`hit | coalesced | computed`,
+queue/compute split) *next to* the payload, never inside it: served payloads
+are byte-identical to direct `repro.build` / stretch evaluation regardless of
+concurrency, coalescing or cache state.  `--check` turns a run into the CI
+smoke gate (cache hits > 0, coalescing > 0, zero dropped/failed/rejected),
+and `benchmarks/bench_serve.py` pins throughput, p50/p99 latency and the
+cache-behavior facts in the committed `BENCH_serve.json`.
 """
 
 

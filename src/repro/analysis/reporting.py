@@ -11,6 +11,36 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the smallest sample value with at least
+    ``q`` percent of the sample at or below it.
+
+    This is the one percentile definition every report in the repo shares
+    (suite manifests, the serving tier's latency report); nearest-rank keeps
+    every reported quantile an actually-observed value, with no
+    interpolation ambiguity.  An empty sample reports 0.0.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q == 0:
+        return float(ordered[0])
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return float(ordered[rank - 1])
+
+
+def percentile_summary(
+    values: Sequence[float], quantiles: Sequence[float] = (50, 99)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p99": ...}`` via :func:`percentile` (shared helper)."""
+    return {
+        f"p{int(q) if float(q).is_integer() else q}": percentile(values, q)
+        for q in quantiles
+    }
+
+
 def format_value(value: object, precision: int = 3) -> str:
     """Human-friendly formatting: scientific for huge magnitudes, fixed otherwise."""
     if value is None:
@@ -204,6 +234,10 @@ def render_suite_manifest(manifest: Dict[str, object]) -> str:
                 "hits": scenario.get("cache_hits"),
                 "computed": scenario.get("computed"),
                 "wall_s": scenario.get("wall_seconds"),
+                # Per-task wall-clock quantiles (absent in pre-PR9 manifests,
+                # rendered as "-").
+                "wall_p50": scenario.get("wall_p50"),
+                "wall_p99": scenario.get("wall_p99"),
                 "failed_checks": ", ".join(checks_failed) if checks_failed else "-",
             }
         )
@@ -213,6 +247,49 @@ def render_suite_manifest(manifest: Dict[str, object]) -> str:
         if scenario.get("error"):
             lines.append(f"error in {scenario.get('name')}: {scenario.get('error')}")
     lines.append("all ok" if manifest.get("all_ok") else "FAILURES (see above)")
+    return "\n".join(lines)
+
+
+def render_serve_report(report: Dict[str, object]) -> str:
+    """Render a serving-tier load report (what ``repro serve`` prints).
+
+    ``report`` is :meth:`repro.serve.loadgen.LoadReport.to_dict` output:
+    throughput and latency quantiles up top, then the per-status and
+    per-kind response tables and the service counters that prove cache
+    behavior (hits, coalesced single-flight builds, batching).
+    """
+    latency = report.get("latency_ms") or {}
+    stats = report.get("stats") or {}
+    lines = [
+        f"serve: {report.get('requests', 0)} requests in "
+        f"{format_value(report.get('elapsed_seconds'))}s "
+        f"({format_value(report.get('throughput_rps'))} req/s), "
+        f"dropped {report.get('dropped', 0)}",
+        f"latency ms: p50 {format_value(latency.get('p50'))}, "
+        f"p99 {format_value(latency.get('p99'))}, "
+        f"max {format_value(latency.get('max'))}",
+        f"cache: hit rate {format_value(report.get('hit_rate'))}, "
+        f"coalesce rate {format_value(report.get('coalesce_rate'))}, "
+        f"pool submissions {stats.get('pool_submissions', 0)}, "
+        f"max batch {report.get('max_batch', 0)}",
+    ]
+    status_rows = [
+        {"status": status, "count": count}
+        for status, count in sorted((report.get("status_counts") or {}).items())
+    ]
+    if status_rows:
+        lines.append(render_table(status_rows, title="responses by status"))
+    kind_rows = [
+        {"kind": kind, "count": count}
+        for kind, count in sorted((report.get("kind_counts") or {}).items())
+    ]
+    if kind_rows:
+        lines.append(render_table(kind_rows, title="responses by kind"))
+    failures = report.get("failure_count", 0)
+    lines.append(
+        "no quarantined requests" if not failures
+        else f"QUARANTINED REQUESTS: {failures} (see the failure manifest)"
+    )
     return "\n".join(lines)
 
 

@@ -16,6 +16,9 @@ Usage (``python -m repro`` or, after ``pip install -e .``, just ``repro``)::
     repro chaos --store-smoke
     repro dynamic
     repro dynamic --scenario dynamic-churn --jobs 4 --store .repro-store --resume
+    repro serve --requests 400 --concurrency 8 --workers 2
+    repro serve --requests 1000 --store .repro-store --json load.json --check
+    repro store audit --store .repro-store
     repro capacity --budget 5
     repro capacity --budget 5 --json ladder.json --update-defaults
     repro params --epsilon 0.25 --kappa 3 --rho 0.34 --internal --size 1000
@@ -68,6 +71,20 @@ Sub-commands:
     guarantee after every step; prints the per-task dynamic summary
     (absorb/repair/rebuild decisions, incremental-vs-rebuild work) plus the
     suite manifest.
+``serve``
+    Drive the serving tier's request broker with a seeded, Zipf-skewed mixed
+    load of build / stretch-query / distance-query requests.  Cache hits are
+    answered synchronously off the result store and warm in-memory snapshots,
+    identical in-flight builds coalesce into one computation, compatible
+    queries batch against one snapshot, and misses go through the hardened
+    process pool under bounded admission.  Prints throughput, p50/p99
+    latency, hit/coalesce rates and the per-status response table;
+    ``--check`` turns the run into a CI gate (hits > 0, coalescing > 0, zero
+    dropped/failed/rejected).
+``store``
+    Inspect an on-disk result store: ``store audit`` re-verifies every
+    entry's integrity checksum (bypassing the hot layer), invalidates corrupt
+    entries and exits nonzero if any were found.
 ``capacity``
     Measure the capacity ladder: binary-search the largest practical vertex
     count per registered algorithm under a wall-clock budget (``--budget``
@@ -92,6 +109,7 @@ from .analysis import (
     render_dynamic_summary,
     render_fault_summary,
     render_run_result,
+    render_serve_report,
     render_suite_manifest,
     render_table,
     verify_run,
@@ -508,6 +526,95 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here (not module-top) so `repro --help` stays cheap: the serve
+    # package pulls in concurrent.futures and the full algorithm registry.
+    from .experiments import ResultStore
+    from .serve import SpannerService, generate_requests, run_load
+
+    if args.requests < 1:
+        print("--requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.concurrency < 1:
+        print("--concurrency must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.queue_limit < 1:
+        print("--queue-limit must be >= 1", file=sys.stderr)
+        return 2
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        print("--request-timeout must be positive", file=sys.stderr)
+        return 2
+    try:
+        requests = generate_requests(args.requests, args.seed, zipf_s=args.zipf_s)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    with SpannerService(
+        store,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+    ) as service:
+        report = run_load(service, requests, concurrency=args.concurrency)
+    summary = report.to_dict()
+    print(render_serve_report(summary))
+    failures = report.failures
+    validate_failure_manifest(failures)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"load report saved to {args.json}")
+    if args.failures:
+        Path(args.failures).write_text(
+            json.dumps(failures, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"failure manifest saved to {args.failures}")
+    if args.check:
+        # The smoke contract: the stream must exercise the cache (hits), the
+        # single-flight path (coalesced builds) and lose nothing on the way.
+        counts = summary["status_counts"]
+        problems = []
+        if not counts.get("hit"):
+            problems.append("no cache hits")
+        if not counts.get("coalesced"):
+            problems.append("no coalesced responses")
+        if summary["dropped"]:
+            problems.append(f"{summary['dropped']} dropped requests")
+        for bad in ("failed", "rejected", "timeout"):
+            if counts.get(bad):
+                problems.append(f"{counts[bad]} {bad} responses")
+        if summary["failure_count"]:
+            problems.append(f"{summary['failure_count']} quarantined requests")
+        if problems:
+            print("serve check FAILED: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print("serve check: OK (hits, coalescing, zero drops)")
+    return 0
+
+
+def _cmd_store_audit(args: argparse.Namespace) -> int:
+    from .experiments import ResultStore
+
+    if not Path(args.store).is_dir():
+        print(f"no result store at {args.store}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    total = store.size(args.scenario)
+    corrupt = store.audit(args.scenario)
+    print(
+        f"store {args.store}: {total} entries audited, "
+        f"{len(corrupt)} corrupt (invalidated)"
+    )
+    for name, key in corrupt:
+        print(f"  CORRUPT {name}/{key}: deleted; next run recomputes it")
+    return 1 if corrupt else 0
+
+
 def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -689,6 +796,69 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="write the ladder to the registry's measured-hints file",
     )
     capacity_parser.set_defaults(handler=_cmd_capacity)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="drive the request broker with a seeded mixed load and report cache behavior",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=400,
+        help="number of requests in the generated stream",
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop window: at most this many unresolved requests",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    serve_parser.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf skew of the key-popularity distribution",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes for cache misses"
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission cap: reject new requests beyond this many outstanding",
+    )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="fail a computed request after this many wall-clock seconds",
+    )
+    serve_parser.add_argument(
+        "--store", type=str, default=None,
+        help="result-store directory backing the service (default: memory only)",
+    )
+    serve_parser.add_argument(
+        "--json", type=str, default=None, help="file to save the load report as JSON"
+    )
+    serve_parser.add_argument(
+        "--failures", type=str, default=None,
+        help="file to save the failure manifest of quarantined requests as JSON",
+    )
+    serve_parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the run shows cache hits, coalescing and zero "
+        "dropped/failed/rejected requests (the CI smoke gate)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect an on-disk result store"
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    store_audit_parser = store_subparsers.add_parser(
+        "audit",
+        help="re-verify every entry's integrity checksum; corrupt entries are "
+        "invalidated so the next run recomputes them",
+    )
+    store_audit_parser.add_argument(
+        "--store", type=str, required=True, help="result-store directory to audit"
+    )
+    store_audit_parser.add_argument(
+        "--scenario", type=str, default=None, help="audit only this scenario's entries"
+    )
+    store_audit_parser.set_defaults(handler=_cmd_store_audit)
 
     params_parser = subparsers.add_parser("params", help="print the derived parameter schedules")
     params_parser.add_argument("--size", type=int, default=None, help="evaluate n-dependent bounds at this n")

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..analysis.reporting import percentile
 from .registry import (
     Params,
     ScenarioSpec,
@@ -141,6 +142,9 @@ class ScenarioOutcome:
     cache_hits: int = 0
     computed: int = 0
     wall_seconds: float = 0.0
+    #: Per-task wall-clock durations in task order (cache hits report 0.0);
+    #: source of the manifest's p50/p99 columns.
+    task_wall_seconds: List[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -162,6 +166,10 @@ class ScenarioOutcome:
             "cache_hits": self.cache_hits,
             "computed": self.computed,
             "wall_seconds": round(self.wall_seconds, 4),
+            # Per-task quantiles via the shared nearest-rank helper (the same
+            # math the serving tier's latency report uses).
+            "wall_p50": round(percentile(self.task_wall_seconds, 50), 4),
+            "wall_p99": round(percentile(self.task_wall_seconds, 99), 4),
             "checks_failed": self.failed_checks,
         }
         if self.record is not None:
@@ -510,6 +518,7 @@ def run_suite(
             1 for o in task_outcomes if not o.cached and o.error is None
         )
         scenario_outcome.wall_seconds = sum(o.wall_seconds for o in task_outcomes)
+        scenario_outcome.task_wall_seconds = [o.wall_seconds for o in task_outcomes]
         result.task_failures.extend(o for o in task_outcomes if o.error is not None)
         errors = [o for o in task_outcomes if o.error is not None]
         if errors:

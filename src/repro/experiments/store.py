@@ -25,6 +25,15 @@ time, and every read re-verifies it.  A corrupt entry (truncated file, bit
 flip, unparseable JSON, stale schema, checksum mismatch) is treated as a
 cache *miss* -- the entry is deleted (auto-invalidate) and the pipeline
 recomputes the task -- never as a crash and never as silently wrong data.
+
+Hot layer: each store instance keeps an in-memory cache of verified entries
+keyed by ``(scenario, key)`` and guarded by the file's stat signature
+(mtime_ns, size).  A repeated ``get`` of an unchanged file skips the re-read
+and the SHA-256 re-hash (the serving tier's hit path); any change to -- or
+disappearance of -- the underlying file invalidates the hot entry, and
+``get(..., verify=True)`` (what :meth:`ResultStore.audit` uses) always
+re-verifies from disk.  Hot hits return a fresh object graph per call, so
+callers can never corrupt the cache by mutating a returned payload.
 """
 
 from __future__ import annotations
@@ -56,6 +65,10 @@ class ResultStore:
     def __init__(self, root: PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Hot layer: (scenario, key) -> (stat signature, canonical payload
+        #: text).  Text, not the parsed dict, so every hit hands out a fresh
+        #: object graph (callers may mutate what get() returns).
+        self._hot: Dict[Tuple[str, str], Tuple[Tuple[int, int], str]] = {}
 
     # ------------------------------------------------------------------
     # Keys
@@ -84,16 +97,32 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
-    def get(self, scenario: str, key: str) -> Optional[Dict[str, object]]:
+    def get(
+        self, scenario: str, key: str, verify: bool = False
+    ) -> Optional[Dict[str, object]]:
         """Return the stored payload for ``key``, or ``None`` on a miss.
 
-        Every read verifies the entry's integrity checksum; any corruption
+        Reads verify the entry's integrity checksum; any corruption
         (unreadable file, bad JSON, wrong schema, checksum mismatch) deletes
         the entry and reads as a miss, so the pipeline recomputes the task.
+        An entry already verified by this store instance is served from the
+        in-memory hot layer (no re-read, no re-hash) as long as the file's
+        stat signature is unchanged; ``verify=True`` bypasses the hot layer
+        and re-verifies from disk.
         """
         path = self._path(scenario, key)
-        if not path.exists():
+        hot_key = (scenario, key)
+        try:
+            stat = path.stat()
+        except OSError:
+            self._hot.pop(hot_key, None)
             return None
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if not verify:
+            hot = self._hot.get(hot_key)
+            if hot is not None and hot[0] == signature:
+                return json.loads(hot[1])
+        self._hot.pop(hot_key, None)
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
         except OSError:
@@ -108,6 +137,7 @@ class ResultStore:
         if not isinstance(payload, dict) or entry.get("payload_sha256") != payload_checksum(payload):
             self._invalidate(path)
             return None
+        self._hot[hot_key] = (signature, canonical_json(payload))
         return payload
 
     @staticmethod
@@ -121,14 +151,16 @@ class ResultStore:
     def audit(self, scenario: Optional[str] = None) -> List[Tuple[str, str]]:
         """Verify every entry's integrity; corrupt entries are invalidated.
 
-        Returns the ``(scenario, key)`` pairs that failed verification (and
-        were deleted).
+        Always re-verifies from disk (bypassing the hot layer), so an audit
+        catches on-disk corruption even of entries this instance has served
+        before.  Returns the ``(scenario, key)`` pairs that failed
+        verification (and were deleted).
         """
         corrupt: List[Tuple[str, str]] = []
         for name, key in list(self.entries(scenario)):
             path = self._path(name, key)
             before = path.exists()
-            if self.get(name, key) is None and before:
+            if self.get(name, key, verify=True) is None and before:
                 corrupt.append((name, key))
         return corrupt
 
@@ -174,6 +206,15 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        try:
+            stat = path.stat()
+        except OSError:  # pragma: no cover - deleted between replace and stat
+            self._hot.pop((scenario, key), None)
+        else:
+            self._hot[(scenario, key)] = (
+                (stat.st_mtime_ns, stat.st_size),
+                canonical_json(dict(payload)),
+            )
         return path
 
     # ------------------------------------------------------------------
@@ -200,5 +241,6 @@ class ResultStore:
         removed = 0
         for name, key in list(self.entries(scenario)):
             self._path(name, key).unlink(missing_ok=True)
+            self._hot.pop((name, key), None)
             removed += 1
         return removed

@@ -70,23 +70,62 @@ class DistanceCache:
     all analyses that sweep BFS over the same host graph (stretch guarantee
     checks, sampled stretch evaluation, additive-term fitting, distance
     histograms) then share one sweep per source.
+
+    Memory is O(#sources * n) and unbounded by default (analyses sweep a
+    graph and move on, and the committed benchmarks measure that regime).
+    Long-lived holders -- the serving tier -- opt into an LRU entry cap via
+    :meth:`set_max_entries`; capped caches evict the least-recently-used
+    vector once the cap is exceeded.
     """
 
-    __slots__ = ("_graph", "_version", "_backend", "_vectors")
+    __slots__ = ("_graph", "_version", "_backend", "_vectors", "_max_entries")
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, max_entries: Optional[int] = None) -> None:
         self._graph = graph
         self._version = graph.version
         self._backend = active_backend(graph.num_vertices)
         self._vectors: Dict[int, List[float]] = {}
+        self._max_entries: Optional[int] = None
+        if max_entries is not None:
+            self.set_max_entries(max_entries)
 
     @property
     def graph(self) -> Graph:
         """The graph this cache serves."""
         return self._graph
 
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The LRU entry cap (``None`` = unbounded, the default)."""
+        return self._max_entries
+
+    def set_max_entries(self, max_entries: Optional[int]) -> None:
+        """Cap the number of memoized vectors (LRU eviction); ``None`` uncaps."""
+        if max_entries is not None:
+            max_entries = int(max_entries)
+            if max_entries < 1:
+                raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self._max_entries = max_entries
+        self._evict()
+
+    def _evict(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._vectors) > self._max_entries:
+            # Dict preserves insertion order and capped lookups re-insert on
+            # access, so the first key is always the least recently used.
+            del self._vectors[next(iter(self._vectors))]
+
     def __len__(self) -> int:
         return len(self._vectors)
+
+    def __contains__(self, source: int) -> bool:
+        """Whether ``source``'s vector is memoized *and still valid*."""
+        return (
+            self._version == self._graph.version
+            and self._backend == active_backend(self._graph.num_vertices)
+            and source in self._vectors
+        )
 
     def clear(self) -> None:
         """Drop all memoized vectors (e.g. to benchmark cold-cache paths)."""
@@ -106,6 +145,12 @@ class DistanceCache:
         vec = self._vectors.get(source)
         if vec is None:
             vec = self._vectors[source] = single_source_distances(self._graph, source)
+            self._evict()
+        elif self._max_entries is not None:
+            # Refresh recency only when capped: the unbounded default keeps
+            # its zero-overhead hit path (and its exact historical behavior).
+            del self._vectors[source]
+            self._vectors[source] = vec
         return vec
 
     def distance(self, u: int, v: int) -> float:

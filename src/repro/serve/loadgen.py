@@ -1,0 +1,242 @@
+"""Seeded closed-loop load generation for the serving tier.
+
+``generate_requests`` turns a seed into a mixed build / stretch / distance
+request stream whose key popularity follows a Zipf distribution over a small
+deterministic catalogue (the regime a real artifact service sees: a few hot
+builds take most of the traffic, a long tail stays cold).  The stream is a
+pure function of its arguments -- no wall-clock, no global RNG -- so the same
+seed always produces the identical stream.
+
+``run_load`` drives a :class:`~repro.serve.service.SpannerService` closed-loop
+(at most ``concurrency`` unresolved tickets; the oldest resolves before the
+next submission), which both exercises coalescing/batching windows and keeps
+the control-plane outcome deterministic: statuses depend only on the
+submit/resolve order, so a fixed (stream, concurrency) pair reproduces the
+same hit/coalesce/computed counts on every run.  Only the timing numbers in
+the resulting :class:`LoadReport` vary between runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import percentile
+from .requests import (
+    EXACT_SIZE_FAMILIES,
+    BuildRequest,
+    DistanceQuery,
+    ServeRequest,
+    StretchQuery,
+)
+from .service import SpannerService, ServeResponse
+
+#: Default request mix (kind, weight): queries dominate builds, as they would
+#: in front of a store of expensive artifacts.
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("build", 3.0),
+    ("stretch-query", 4.0),
+    ("distance-query", 3.0),
+)
+
+#: Default Zipf skew: mildly heavy-tailed, ~1/3 of the traffic on the top key
+#: of a 12-key catalogue.
+DEFAULT_ZIPF_S = 1.1
+
+
+def default_catalogue(
+    seed: int = 0,
+    *,
+    algorithms: Sequence[str] = ("new-centralized", "baswana-sen", "elkin-neiman-2017"),
+    families: Sequence[str] = ("gnp", "sparse_gnp"),
+    sizes: Sequence[int] = (48, 64),
+) -> List[BuildRequest]:
+    """The popularity-ranked build catalogue (rank 0 is the hottest key).
+
+    Families must generate exactly ``size`` vertices (distance queries
+    address vertices by id), so only :data:`EXACT_SIZE_FAMILIES` are allowed.
+    """
+    for family in families:
+        if family not in EXACT_SIZE_FAMILIES:
+            raise ValueError(
+                f"family {family!r} does not generate exactly `size` vertices; "
+                f"choose from {EXACT_SIZE_FAMILIES}"
+            )
+    return [
+        BuildRequest.create(algorithm, family=family, size=size, seed=seed)
+        for size in sizes
+        for family in families
+        for algorithm in algorithms
+    ]
+
+
+def zipf_weights(count: int, s: float = DEFAULT_ZIPF_S) -> List[float]:
+    """Unnormalized Zipf popularity weights for ranks ``1..count``."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+def generate_requests(
+    count: int,
+    seed: int = 0,
+    *,
+    catalogue: Optional[Sequence[BuildRequest]] = None,
+    mix: Sequence[Tuple[str, float]] = DEFAULT_MIX,
+    zipf_s: float = DEFAULT_ZIPF_S,
+    num_pairs: int = 120,
+    pair_seed_choices: int = 2,
+    pairs_per_query: int = 8,
+) -> List[ServeRequest]:
+    """A mixed request stream: pure function of the arguments.
+
+    Every request targets a catalogue entry drawn Zipf-skewed by rank; the
+    request kind is drawn from ``mix``.  Stretch queries vary only their
+    ``pair_seed`` (over ``pair_seed_choices`` values) so repeats hit;
+    distance queries draw fresh pair batches so they exercise the warm
+    per-graph distance caches instead of the payload memo.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    entries = list(catalogue) if catalogue is not None else default_catalogue(seed)
+    if not entries:
+        raise ValueError("catalogue must not be empty")
+    # A string seed keeps the stream independent of the catalogue seed while
+    # remaining fully deterministic (random.Random hashes it stably).
+    rng = random.Random(f"serve-loadgen:{seed}")
+    weights = zipf_weights(len(entries), zipf_s)
+    kinds = [kind for kind, _ in mix]
+    kind_weights = [weight for _, weight in mix]
+    requests: List[ServeRequest] = []
+    for _ in range(count):
+        build = rng.choices(entries, weights=weights)[0]
+        kind = rng.choices(kinds, weights=kind_weights)[0]
+        if kind == "build":
+            requests.append(build)
+        elif kind == "stretch-query":
+            requests.append(
+                StretchQuery(
+                    build,
+                    num_pairs=num_pairs,
+                    pair_seed=rng.randrange(pair_seed_choices),
+                )
+            )
+        elif kind == "distance-query":
+            n = build.size
+            pairs = tuple(
+                (rng.randrange(n), rng.randrange(n)) for _ in range(pairs_per_query)
+            )
+            requests.append(
+                DistanceQuery.create(build.family, build.size, build.seed, pairs)
+            )
+        else:
+            raise ValueError(f"unknown request kind in mix: {kind!r}")
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop run: throughput, latency, cache behavior."""
+
+    requests: int
+    elapsed_seconds: float
+    latencies: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, int] = field(default_factory=dict)
+    failures: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def responses(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def dropped(self) -> int:
+        """Requests that never received a response (0 by construction: even
+        rejected and failed requests resolve to typed responses)."""
+        return self.requests - self.responses
+
+    @property
+    def hit_rate(self) -> float:
+        answered = self.responses
+        return self.status_counts.get("hit", 0) / answered if answered else 0.0
+
+    @property
+    def coalesce_rate(self) -> float:
+        answered = self.responses
+        return self.status_counts.get("coalesced", 0) / answered if answered else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (timing fields separated from the counters)."""
+        ms = sorted(value * 1000.0 for value in self.latencies)
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "dropped": self.dropped,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "throughput_rps": round(
+                self.requests / self.elapsed_seconds, 2
+            ) if self.elapsed_seconds > 0 else 0.0,
+            "latency_ms": {
+                "p50": round(percentile(ms, 50), 3),
+                "p99": round(percentile(ms, 99), 3),
+                "max": round(ms[-1], 3) if ms else 0.0,
+            },
+            "hit_rate": round(self.hit_rate, 4),
+            "coalesce_rate": round(self.coalesce_rate, 4),
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "max_batch": self.stats.get("max_batch", 0),
+            "stats": dict(sorted(self.stats.items())),
+            "failure_count": self.failures.get("count", 0),
+        }
+
+
+def run_load(
+    service: SpannerService,
+    requests: Sequence[ServeRequest],
+    concurrency: int = 8,
+) -> LoadReport:
+    """Drive the service closed-loop and aggregate the responses.
+
+    At most ``concurrency`` tickets stay unresolved; when the window is full
+    the oldest ticket resolves before the next request is submitted (FIFO),
+    which makes every status outcome a deterministic function of the stream.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    started = time.perf_counter()
+    window: deque = deque()
+    responses: List[ServeResponse] = []
+    latencies: List[float] = []
+
+    def drain_one() -> None:
+        ticket = window.popleft()
+        responses.append(service.resolve(ticket))
+        latencies.append(time.perf_counter() - ticket.submitted_at)
+
+    for request in requests:
+        while len(window) >= concurrency:
+            drain_one()
+        window.append(service.submit(request))
+    while window:
+        drain_one()
+    elapsed = time.perf_counter() - started
+
+    status_counts: Dict[str, int] = {}
+    kind_counts: Dict[str, int] = {}
+    for response in responses:
+        status_counts[response.status] = status_counts.get(response.status, 0) + 1
+        kind_counts[response.kind] = kind_counts.get(response.kind, 0) + 1
+    return LoadReport(
+        requests=len(requests),
+        elapsed_seconds=elapsed,
+        latencies=latencies,
+        status_counts=status_counts,
+        kind_counts=kind_counts,
+        stats=service.stats_snapshot(),
+        failures=service.failure_manifest(),
+    )

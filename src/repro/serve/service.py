@@ -1,0 +1,726 @@
+"""The serving tier: a long-lived, cache-warm build/query request broker.
+
+:class:`SpannerService` (alias :data:`ServiceHandle`) is the in-process API
+behind ``repro serve``; benchmarks and tests drive it directly, no sockets
+involved.  It accepts the three request kinds of :mod:`repro.serve.requests`
+and answers them with the cheapest sufficient mechanism:
+
+* **cache hits** -- warm in-memory snapshots first, then the content-addressed
+  :class:`~repro.experiments.store.ResultStore`; both answer synchronously at
+  submission.
+* **single-flight coalescing** -- identical in-flight build misses (same store
+  content address) share one process-pool computation; later arrivals attach
+  to the first dispatch and are reported as ``coalesced``.
+* **batching** -- stretch and distance queries submitted while earlier work is
+  outstanding queue up and are flushed together, grouped per warm snapshot,
+  so one batch shares each graph's :class:`~repro.graphs.distances.DistanceCache`
+  sweeps.
+* **pool dispatch** -- build misses run through the same
+  ``ProcessPoolExecutor`` + :func:`~repro.experiments.pipeline.execute_task_spec`
+  machinery as the experiment pipeline, with bounded workers, a bounded
+  admission queue (typed backpressure) and optional per-request timeouts.
+  Failures land in a ``repro-failure-manifest/v1`` manifest exactly like
+  quarantined pipeline tasks.
+
+Responses carry provenance (status, source, batch size, queue/compute split)
+*next to* the payload, never inside it: payloads stay pure functions of
+``(request, seed)``, so the same request stream yields byte-identical payloads
+regardless of concurrency, coalescing, batching or cache state.
+
+Determinism of the control plane: statuses and counters depend only on the
+submit/resolve *order* (warmth, in-flight sets and LRU evictions evolve only
+at those points), never on wall-clock, so a fixed request stream driven with a
+fixed concurrency reproduces the same hit/coalesce/computed counts on every
+run -- which is what the CI smoke and the committed load benchmark pin.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.pipeline import (
+    FAILURE_MANIFEST_SCHEMA,
+    TaskError,
+    canonicalize_payload,
+    execute_task_spec,
+)
+from ..experiments.registry import fingerprint_graph
+from ..experiments.store import ResultStore
+from ..graphs.graph import Graph
+from . import tasks
+from .requests import (
+    BUILD_SCENARIO,
+    SERVE_VERSION,
+    STRETCH_SCENARIO,
+    BuildRequest,
+    DistanceQuery,
+    GraphKey,
+    ServeRequest,
+    StretchQuery,
+)
+
+#: LRU cap the service sets on every warm graph's DistanceCache (vectors are
+#: O(n) each; a long-lived server must not grow without limit).  Library
+#: callers outside the service keep the unbounded default.
+DEFAULT_DISTANCE_CACHE_ENTRIES = 128
+
+#: LRU cap on warm build snapshots and memoized stretch payloads.
+DEFAULT_WARM_ENTRIES = 256
+
+_STATUS_COUNTERS = ("hit", "coalesced", "computed", "rejected", "failed", "timeout")
+
+
+class AdmissionError(TaskError):
+    """Typed backpressure signal: the bounded admission queue is full.
+
+    A :class:`~repro.experiments.pipeline.TaskError` subtype so rejected
+    requests quarantine into the same failure-manifest shape as pipeline task
+    failures.
+    """
+
+
+@dataclass
+class ServeResponse:
+    """One answered request: payload plus out-of-band provenance."""
+
+    kind: str
+    #: ``hit | coalesced | computed | rejected | failed | timeout``.
+    status: str
+    #: The canonical payload (``None`` for rejected/failed/timeout responses).
+    payload: Optional[Dict[str, object]]
+    #: Where the answer came from and what it cost -- never part of the payload.
+    provenance: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ServeTicket:
+    """Handle for one submitted request; redeem with :meth:`SpannerService.resolve`."""
+
+    __slots__ = (
+        "request",
+        "kind",
+        "index",
+        "submitted_at",
+        "admitted",
+        "response",
+        "future",
+        "build_key",
+        "resolve_status",
+        "deferred",
+        "queued",
+    )
+
+    def __init__(self, request: ServeRequest, index: int) -> None:
+        self.request = request
+        self.kind = request.kind
+        self.index = index
+        self.submitted_at = time.perf_counter()
+        self.admitted = False
+        self.response: Optional[ServeResponse] = None
+        self.future: Optional[Future] = None
+        self.build_key: Optional[str] = None
+        #: Status a pool-backed ticket reports on success ("computed" for the
+        #: dispatching request, "coalesced" for attached identical ones).
+        self.resolve_status = "computed"
+        #: Stretch query waiting on the build future, if any.
+        self.deferred: Optional[StretchQuery] = None
+        #: Whether the ticket sits in the sync batch queue.
+        self.queued = False
+
+
+@dataclass
+class _WarmBuild:
+    """A build kept hot: its canonical payload + reconstructed spanner."""
+
+    payload: Dict[str, object]
+    spanner: Graph
+
+
+class SpannerService:
+    """Long-lived broker over warm caches, the result store and a worker pool.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore` (or directory path) serving as the
+        persistent cache layer under the in-memory snapshots.
+    workers:
+        Process-pool size for build misses (bounded concurrency).
+    queue_limit:
+        Bounded admission queue: at most this many unresolved requests may be
+        outstanding; requests beyond it are *rejected synchronously* with a
+        typed backpressure response (never silently dropped).
+    request_timeout:
+        Optional wall-clock ceiling (seconds) on waiting for a pool-computed
+        build at resolve time; a request that blows it resolves as a typed
+        ``timeout`` response and is quarantined in the failure manifest.
+    distance_cache_entries:
+        LRU cap installed on every warm graph's / spanner's ``DistanceCache``.
+    max_warm_entries:
+        LRU cap on warm build snapshots and memoized stretch payloads.
+    executor:
+        Injectable executor for tests (anything with ``submit``); by default a
+        ``ProcessPoolExecutor(workers)`` is created lazily on the first miss.
+    """
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, None] = None,
+        *,
+        workers: int = 2,
+        queue_limit: int = 64,
+        request_timeout: Optional[float] = None,
+        distance_cache_entries: Optional[int] = DEFAULT_DISTANCE_CACHE_ENTRIES,
+        max_warm_entries: int = DEFAULT_WARM_ENTRIES,
+        executor: Optional[object] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
+        if max_warm_entries < 1:
+            raise ValueError("max_warm_entries must be >= 1")
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self._store = store
+        self._workers = workers
+        self._queue_limit = queue_limit
+        self._request_timeout = request_timeout
+        self._distance_cache_entries = distance_cache_entries
+        self._max_warm_entries = max_warm_entries
+        self._executor = executor
+        self._owns_executor = executor is None
+
+        self._graphs: Dict[GraphKey, Graph] = {}
+        self._fingerprints: Dict[GraphKey, str] = {}
+        self._builds: Dict[str, _WarmBuild] = {}
+        self._stretch: Dict[str, Dict[str, object]] = {}
+        self._inflight: Dict[str, Future] = {}
+        self._sync_pending: List[ServeTicket] = []
+        self._outstanding = 0
+        self._seq = 0
+        self._failures: List[Dict[str, object]] = []
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "responses": 0,
+            "pool_submissions": 0,
+            "store_hits": 0,
+            "batches": 0,
+            "batched_queries": 0,
+            "max_batch": 0,
+        }
+        for status in _STATUS_COUNTERS:
+            self.stats[status] = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SpannerService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _pool(self):
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Warm state
+    # ------------------------------------------------------------------
+    def _graph(self, key: GraphKey) -> Graph:
+        graph = self._graphs.get(key)
+        if graph is None:
+            from ..graphs.generators import make_workload
+
+            family, size, seed = key
+            graph = make_workload(family, size, seed=seed)
+            if self._distance_cache_entries is not None:
+                graph.distance_cache().set_max_entries(self._distance_cache_entries)
+            self._graphs[key] = graph
+        return graph
+
+    def _fingerprint(self, key: GraphKey) -> str:
+        fingerprint = self._fingerprints.get(key)
+        if fingerprint is None:
+            fingerprint = self._fingerprints[key] = fingerprint_graph(self._graph(key))
+        return fingerprint
+
+    def build_key(self, request: BuildRequest) -> str:
+        """The single-flight / store content address of a build request."""
+        return ResultStore.task_key(
+            BUILD_SCENARIO,
+            request.task_params(),
+            self._fingerprint(request.graph_key()),
+            SERVE_VERSION,
+        )
+
+    def stretch_key(self, query: StretchQuery) -> str:
+        return ResultStore.task_key(
+            STRETCH_SCENARIO,
+            query.task_params(),
+            self._fingerprint(query.graph_key()),
+            SERVE_VERSION,
+        )
+
+    def _lru_touch(self, mapping: Dict[str, object], key: str):
+        value = mapping.pop(key, None)
+        if value is not None:
+            mapping[key] = value  # re-insert: most recently used is last
+        return value
+
+    def _lru_insert(self, mapping: Dict[str, object], key: str, value: object) -> None:
+        mapping.pop(key, None)
+        mapping[key] = value
+        while len(mapping) > self._max_warm_entries:
+            mapping.pop(next(iter(mapping)))
+
+    def _warm_from_wrapper(
+        self, key: str, wrapper: Dict[str, object]
+    ) -> Optional[_WarmBuild]:
+        payload = wrapper.get("result")
+        edges = wrapper.get("spanner_edges")
+        if not isinstance(payload, dict) or not isinstance(edges, list):
+            return None
+        spanner = tasks.spanner_from_payload(int(payload["num_vertices"]), edges)
+        if self._distance_cache_entries is not None:
+            spanner.distance_cache().set_max_entries(self._distance_cache_entries)
+        warm = _WarmBuild(payload=payload, spanner=spanner)
+        self._lru_insert(self._builds, key, warm)
+        return warm
+
+    def _lookup_build(self, key: str) -> Tuple[Optional[_WarmBuild], Optional[str]]:
+        """Warm build for ``key`` from memory or store, with its source tag."""
+        warm = self._lru_touch(self._builds, key)
+        if warm is not None:
+            return warm, "memory"
+        if self._store is not None:
+            wrapper = self._store.get(BUILD_SCENARIO, key)
+            if wrapper is not None:
+                warm = self._warm_from_wrapper(key, wrapper)
+                if warm is not None:
+                    self.stats["store_hits"] += 1
+                    return warm, "store"
+        return None, None
+
+    def _lookup_stretch(self, key: str) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        payload = self._lru_touch(self._stretch, key)
+        if payload is not None:
+            return payload, "memory"
+        if self._store is not None:
+            payload = self._store.get(STRETCH_SCENARIO, key)
+            if payload is not None:
+                self.stats["store_hits"] += 1
+                self._lru_insert(self._stretch, key, payload)
+                return payload, "store"
+        return None, None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> ServeTicket:
+        """Admit one request; hits resolve synchronously, misses get queued.
+
+        Always returns a ticket whose response materializes at
+        :meth:`resolve` -- including typed ``rejected`` responses when the
+        admission queue is full, so no request is ever silently dropped.
+        """
+        self._seq += 1
+        ticket = ServeTicket(request, self._seq)
+        self.stats["requests"] += 1
+        if isinstance(request, BuildRequest):
+            self._submit_build(ticket, request)
+        elif isinstance(request, StretchQuery):
+            self._submit_stretch(ticket, request)
+        elif isinstance(request, DistanceQuery):
+            self._submit_distance(ticket, request)
+        else:
+            raise TypeError(f"not a serve request: {request!r}")
+        return ticket
+
+    def _submit_build(self, ticket: ServeTicket, request: BuildRequest) -> None:
+        key = ticket.build_key = self.build_key(request)
+        warm, source = self._lookup_build(key)
+        if warm is not None:
+            self._finish(ticket, "hit", warm.payload, source=source)
+            return
+        future = self._inflight.get(key)
+        if future is not None:
+            if self._admit(ticket, BUILD_SCENARIO, request.seed):
+                ticket.future = future
+                ticket.resolve_status = "coalesced"
+            return
+        if self._admit(ticket, BUILD_SCENARIO, request.seed):
+            ticket.future = self._dispatch_build(key, request)
+
+    def _submit_stretch(self, ticket: ServeTicket, query: StretchQuery) -> None:
+        skey = self.stretch_key(query)
+        payload, source = self._lookup_stretch(skey)
+        if payload is not None:
+            self._finish(ticket, "hit", payload, source=source)
+            return
+        if not self._admit(ticket, STRETCH_SCENARIO, query.pair_seed):
+            return
+        bkey = ticket.build_key = self.build_key(query.build)
+        warm, _ = self._lookup_build(bkey)
+        if warm is not None:
+            # Build snapshot is warm: queue for the next batched flush.
+            ticket.queued = True
+            self._sync_pending.append(ticket)
+            return
+        future = self._inflight.get(bkey)
+        if future is not None:
+            ticket.future = future
+            ticket.resolve_status = "coalesced"
+        else:
+            ticket.future = self._dispatch_build(bkey, query.build)
+        ticket.deferred = query
+
+    def _submit_distance(self, ticket: ServeTicket, query: DistanceQuery) -> None:
+        if self._admit(ticket, "serve-distance", query.seed):
+            ticket.queued = True
+            self._sync_pending.append(ticket)
+
+    def _admit(self, ticket: ServeTicket, scenario: str, seed: int) -> bool:
+        if self._outstanding >= self._queue_limit:
+            error = AdmissionError(
+                scenario,
+                ticket.index,
+                int(seed),
+                f"Backpressure: admission queue full "
+                f"({self._outstanding} outstanding >= limit {self._queue_limit})",
+                params=ticket.request.describe(),
+            )
+            self._record_failure(error)
+            self._finish(
+                ticket, "rejected", None, source="admission", error=error.cause
+            )
+            return False
+        self._outstanding += 1
+        ticket.admitted = True
+        return True
+
+    def _dispatch_build(self, key: str, request: BuildRequest) -> Future:
+        future = self._pool().submit(
+            execute_task_spec,
+            tasks.build_task,
+            BUILD_SCENARIO,
+            self._seq,
+            request.task_params(),
+            request.seed,
+        )
+        self._inflight[key] = future
+        self.stats["pool_submissions"] += 1
+        return future
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ticket: ServeTicket) -> ServeResponse:
+        """Redeem a ticket; blocks on (and absorbs) pool work when needed."""
+        if ticket.response is None and ticket.queued:
+            self._flush_pending()
+        if ticket.response is None and ticket.future is not None:
+            self._resolve_future(ticket)
+        if ticket.response is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"ticket {ticket.index} did not resolve")
+        return ticket.response
+
+    def serve(self, requests: Sequence[ServeRequest]) -> List[ServeResponse]:
+        """Submit then resolve a wave of requests, preserving order.
+
+        Queries submitted in one wave batch against shared snapshots; the
+        wave must fit the admission queue (`queue_limit`) or its tail is
+        rejected with typed backpressure responses.
+        """
+        tickets = [self.submit(request) for request in requests]
+        return [self.resolve(ticket) for ticket in tickets]
+
+    def _resolve_future(self, ticket: ServeTicket) -> None:
+        key = ticket.build_key
+        assert key is not None and ticket.future is not None
+        try:
+            wrapper, wall = ticket.future.result(timeout=self._request_timeout)
+        except FuturesTimeoutError:
+            self._drop_inflight(key, ticket.future)
+            error = TaskError(
+                BUILD_SCENARIO,
+                ticket.index,
+                self._request_seed(ticket),
+                f"TaskTimeout: no result within {self._request_timeout}s wall-clock limit",
+                params=ticket.request.describe(),
+            )
+            self._record_failure(error)
+            self._finish(ticket, "timeout", None, source="pool", error=error.cause)
+            return
+        except TaskError as exc:
+            self._drop_inflight(key, ticket.future)
+            self._record_failure(exc, index=ticket.index, params=ticket.request.describe())
+            self._finish(ticket, "failed", None, source="pool", error=exc.cause)
+            return
+        except Exception as exc:  # noqa: BLE001 - typed into the manifest
+            self._drop_inflight(key, ticket.future)
+            error = TaskError(
+                BUILD_SCENARIO,
+                ticket.index,
+                self._request_seed(ticket),
+                f"{type(exc).__name__}: {exc}",
+                params=ticket.request.describe(),
+            )
+            self._record_failure(error)
+            self._finish(ticket, "failed", None, source="pool", error=error.cause)
+            return
+        warm = self._absorb_build(ticket, key, wrapper)
+        compute_seconds = wall if ticket.resolve_status == "computed" else 0.0
+        if ticket.deferred is None:
+            self._finish(
+                ticket,
+                ticket.resolve_status,
+                warm.payload,
+                source="pool",
+                compute_seconds=compute_seconds,
+            )
+            return
+        # Stretch query that waited on its build: compute (or reuse) now.
+        query = ticket.deferred
+        skey = self.stretch_key(query)
+        payload = self._lru_touch(self._stretch, skey)
+        if payload is None:
+            start = time.perf_counter()
+            payload = self._compute_stretch(skey, query, warm)
+            compute_seconds += time.perf_counter() - start
+        self._finish(
+            ticket,
+            ticket.resolve_status,
+            payload,
+            source="pool",
+            compute_seconds=compute_seconds,
+        )
+
+    def _drop_inflight(self, key: str, future: Future) -> None:
+        if self._inflight.get(key) is future:
+            del self._inflight[key]
+
+    def _absorb_build(
+        self, ticket: ServeTicket, key: str, wrapper: Dict[str, object]
+    ) -> _WarmBuild:
+        """First resolver of a shared build future warms memory and the store."""
+        self._drop_inflight(key, ticket.future)
+        warm = self._lru_touch(self._builds, key)
+        if warm is not None:
+            return warm
+        build = (
+            ticket.request if isinstance(ticket.request, BuildRequest)
+            else ticket.request.build
+        )
+        if self._store is not None:
+            self._store.put(
+                BUILD_SCENARIO,
+                key,
+                wrapper,
+                params=build.task_params(),
+                seed=build.seed,
+                workload_fingerprint=self._fingerprint(build.graph_key()),
+                version=SERVE_VERSION,
+            )
+        warm = self._warm_from_wrapper(key, wrapper)
+        assert warm is not None  # the wrapper came from build_task
+        return warm
+
+    # ------------------------------------------------------------------
+    # Batched in-process queries
+    # ------------------------------------------------------------------
+    def _flush_pending(self) -> None:
+        """Answer every queued query, batched per warm snapshot.
+
+        Queries that piled up while earlier tickets were outstanding are
+        grouped by graph (distance) / build (stretch) key so each group
+        shares one snapshot's distance-cache sweeps.
+        """
+        pending, self._sync_pending = self._sync_pending, []
+        groups: Dict[Tuple[str, object], List[ServeTicket]] = {}
+        for ticket in pending:
+            if isinstance(ticket.request, DistanceQuery):
+                group_key = ("distance", ticket.request.graph_key())
+            else:
+                group_key = ("stretch", ticket.build_key)
+            groups.setdefault(group_key, []).append(ticket)
+        for (kind, _), members in groups.items():
+            self.stats["batches"] += 1
+            self.stats["batched_queries"] += len(members)
+            self.stats["max_batch"] = max(self.stats["max_batch"], len(members))
+            if kind == "distance":
+                self._answer_distance_batch(members)
+            else:
+                self._answer_stretch_batch(members)
+
+    def _answer_distance_batch(self, members: List[ServeTicket]) -> None:
+        batch = len(members)
+        for ticket in members:
+            query = ticket.request
+            cache = self._graph(query.graph_key()).distance_cache()
+            warm_hit = all(u in cache for u, _ in query.pairs)
+            start = time.perf_counter()
+            payload = canonicalize_payload(tasks.distance_payload(cache, query.pairs))
+            seconds = time.perf_counter() - start
+            self._finish(
+                ticket,
+                "hit" if warm_hit else "computed",
+                payload,
+                source="distance-cache",
+                batch_size=batch,
+                compute_seconds=seconds,
+            )
+
+    def _answer_stretch_batch(self, members: List[ServeTicket]) -> None:
+        batch = len(members)
+        for ticket in members:
+            query = ticket.request
+            skey = self.stretch_key(query)
+            payload = self._lru_touch(self._stretch, skey)
+            if payload is not None:
+                # An identical query earlier in the batch already computed it.
+                self._finish(
+                    ticket, "coalesced", payload, source="memory", batch_size=batch
+                )
+                continue
+            warm, _ = self._lookup_build(ticket.build_key)
+            if warm is None:  # pragma: no cover - snapshot vanished mid-flight
+                error = TaskError(
+                    STRETCH_SCENARIO,
+                    ticket.index,
+                    query.pair_seed,
+                    "LostSnapshot: warm build evicted before the batched flush",
+                    params=query.describe(),
+                )
+                self._record_failure(error)
+                self._finish(
+                    ticket, "failed", None, source="memory", error=error.cause
+                )
+                continue
+            start = time.perf_counter()
+            payload = self._compute_stretch(skey, query, warm)
+            seconds = time.perf_counter() - start
+            self._finish(
+                ticket,
+                "computed",
+                payload,
+                source="distance-cache",
+                batch_size=batch,
+                compute_seconds=seconds,
+            )
+
+    def _compute_stretch(
+        self, skey: str, query: StretchQuery, warm: _WarmBuild
+    ) -> Dict[str, object]:
+        graph = self._graph(query.graph_key())
+        payload = canonicalize_payload(
+            tasks.stretch_payload(
+                graph,
+                warm.spanner,
+                tasks.guarantee_from_payload(warm.payload.get("guarantee")),
+                query.num_pairs,
+                query.pair_seed,
+            )
+        )
+        self._lru_insert(self._stretch, skey, payload)
+        if self._store is not None:
+            self._store.put(
+                STRETCH_SCENARIO,
+                skey,
+                payload,
+                params=query.task_params(),
+                seed=query.pair_seed,
+                workload_fingerprint=self._fingerprint(query.graph_key()),
+                version=SERVE_VERSION,
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _request_seed(self, ticket: ServeTicket) -> int:
+        request = ticket.request
+        if isinstance(request, StretchQuery):
+            return request.pair_seed
+        return request.seed
+
+    def _record_failure(
+        self,
+        error: TaskError,
+        index: Optional[int] = None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._failures.append(
+            {
+                "scenario": error.scenario,
+                "task_index": index if index is not None else error.index,
+                "seed": error.seed,
+                "params": params if params is not None else dict(error.params),
+                "error": error.cause,
+                "attempts": 1,
+            }
+        )
+
+    def _finish(
+        self,
+        ticket: ServeTicket,
+        status: str,
+        payload: Optional[Dict[str, object]],
+        source: str,
+        error: Optional[str] = None,
+        batch_size: int = 1,
+        compute_seconds: float = 0.0,
+    ) -> None:
+        elapsed = time.perf_counter() - ticket.submitted_at
+        ticket.response = ServeResponse(
+            kind=ticket.kind,
+            status=status,
+            payload=payload,
+            provenance={
+                "status": status,
+                "kind": ticket.kind,
+                "source": source,
+                "batch_size": batch_size,
+                "queue_seconds": round(max(0.0, elapsed - compute_seconds), 6),
+                "compute_seconds": round(compute_seconds, 6),
+            },
+            error=error,
+        )
+        if ticket.admitted:
+            ticket.admitted = False
+            self._outstanding -= 1
+        self.stats[status] += 1
+        self.stats["responses"] += 1
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """A copy of the service counters (requests, statuses, pool activity)."""
+        return dict(self.stats)
+
+    def failure_manifest(self) -> Dict[str, object]:
+        """Rejections, timeouts and task failures, pipeline-manifest shaped."""
+        return {
+            "schema": FAILURE_MANIFEST_SCHEMA,
+            "count": len(self._failures),
+            "failures": [dict(entry) for entry in self._failures],
+        }
+
+
+#: The in-process API name ``repro serve`` documentation uses.
+ServiceHandle = SpannerService

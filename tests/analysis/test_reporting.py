@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
-from repro.analysis import format_value, render_markdown_table, render_series, render_table
+import pytest
+
+from repro.analysis import (
+    format_value,
+    percentile,
+    percentile_summary,
+    render_markdown_table,
+    render_serve_report,
+    render_series,
+    render_table,
+)
 
 
 def test_format_value_variants():
@@ -52,3 +62,68 @@ def test_render_series():
     text = render_series({"rounds": [1.0, 2.0, 4.0]}, x_label="n", title="scaling")
     assert "scaling" in text
     assert "rounds (n)" in text
+
+
+class TestPercentile:
+    """The one nearest-rank percentile every report shares (PR 9)."""
+
+    def test_nearest_rank_values(self):
+        values = [15.0, 20.0, 35.0, 40.0, 50.0]
+        assert percentile(values, 30) == 20.0
+        assert percentile(values, 40) == 20.0
+        assert percentile(values, 50) == 35.0
+        assert percentile(values, 100) == 50.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile([1.0, 2.0, 3.0], 50)
+
+    def test_extremes_and_empty(self):
+        assert percentile([7.0, 3.0], 0) == 3.0
+        assert percentile([], 50) == 0.0
+        assert percentile([4.0], 99) == 4.0
+
+    def test_reported_quantile_is_an_observed_value(self):
+        values = [float(v) for v in range(101)]
+        for q in (1, 25, 50, 75, 99):
+            assert percentile(values, q) in values
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summary_shape(self):
+        summary = percentile_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary == {"p50": 2.0, "p99": 4.0}
+        assert percentile_summary([5.0], quantiles=(90,)) == {"p90": 5.0}
+
+
+def test_render_serve_report_shows_the_load_facts():
+    report = {
+        "requests": 100,
+        "elapsed_seconds": 0.5,
+        "throughput_rps": 200.0,
+        "dropped": 0,
+        "latency_ms": {"p50": 1.0, "p99": 9.0, "max": 12.0},
+        "hit_rate": 0.8,
+        "coalesce_rate": 0.05,
+        "max_batch": 4,
+        "stats": {"pool_submissions": 6},
+        "status_counts": {"hit": 80, "computed": 15, "coalesced": 5},
+        "kind_counts": {"build": 40, "stretch-query": 60},
+        "failure_count": 0,
+    }
+    text = render_serve_report(report)
+    assert "100 requests" in text
+    assert "p50 1" in text and "p99 9" in text
+    assert "hit rate 0.8" in text
+    assert "pool submissions 6" in text
+    assert "responses by status" in text
+    assert "responses by kind" in text
+    assert "no quarantined requests" in text
+
+
+def test_render_serve_report_flags_quarantined_requests():
+    report = {"requests": 1, "status_counts": {"failed": 1}, "failure_count": 1}
+    assert "QUARANTINED REQUESTS: 1" in render_serve_report(report)

@@ -103,6 +103,79 @@ class TestResultStore:
         assert store.size() == 1
 
 
+class TestHotLayer:
+    """The in-memory verified-entry cache (PR 9's serving-tier hit path)."""
+
+    def _put(self, store, key, payload):
+        return store.put("s", key, payload, params={}, seed=0,
+                         workload_fingerprint="", version="1")
+
+    def test_repeated_get_skips_the_reread(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        self._put(store, "a" * 32, {"v": 1})
+        assert store.get("s", "a" * 32) == {"v": 1}
+        # Any further disk read would crash: the hot layer must answer.
+        monkeypatch.setattr(
+            type(tmp_path), "read_text",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("hot miss")),
+        )
+        assert store.get("s", "a" * 32) == {"v": 1}
+
+    def test_put_warms_the_hot_layer(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        self._put(store, "b" * 32, {"v": 2})
+        monkeypatch.setattr(
+            type(tmp_path), "read_text",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("hot miss")),
+        )
+        assert store.get("s", "b" * 32) == {"v": 2}
+
+    def test_hot_hits_return_fresh_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._put(store, "c" * 32, {"rows": [1, 2]})
+        first = store.get("s", "c" * 32)
+        first["rows"].append(99)  # a caller mutating its copy...
+        second = store.get("s", "c" * 32)
+        assert second == {"rows": [1, 2]}  # ...cannot corrupt later reads
+
+    def test_file_rewrite_invalidates_the_hot_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._put(store, "d" * 32, {"v": 1})
+        assert store.get("s", "d" * 32) == {"v": 1}
+        # Another writer replaces the entry (new mtime/size): the hot layer
+        # must notice and re-verify from disk.
+        self._put(store, "d" * 32, {"v": 2})
+        assert store.get("s", "d" * 32) == {"v": 2}
+        # Corruption after a hot hit is also caught via the signature.
+        path.write_text("garbage!!", encoding="utf-8")
+        assert store.get("s", "d" * 32) is None
+
+    def test_file_deletion_drops_the_hot_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._put(store, "e" * 32, {"v": 1})
+        assert store.get("s", "e" * 32) == {"v": 1}
+        path.unlink()
+        assert store.get("s", "e" * 32) is None
+
+    def test_audit_bypasses_the_hot_layer(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._put(store, "f" * 32, {"v": 1})
+        assert store.get("s", "f" * 32) == {"v": 1}  # hot now
+        # Corrupt the file while keeping its stat signature plausible is
+        # fiddly; what matters is that audit re-reads regardless of warmth.
+        text = path.read_text(encoding="utf-8").replace('"v": 1', '"v": 9')
+        path.write_text(text, encoding="utf-8")
+        assert store.audit() == [("s", "f" * 32)]
+        assert store.get("s", "f" * 32) is None
+
+    def test_prune_drops_hot_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._put(store, "1" * 32, {"v": 1})
+        store.get("s", "1" * 32)
+        assert store.prune() == 1
+        assert store.get("s", "1" * 32) is None
+
+
 class TestSuiteResume:
     def test_second_resume_run_recomputes_zero_tasks(self, tmp_path):
         first = run_suite(_specs(), store=tmp_path, resume=True)

@@ -181,3 +181,76 @@ class TestDistanceCache:
         cache.vector(0)
         cache.clear()
         assert len(cache) == 0
+
+
+class TestDistanceCacheLRU:
+    """The opt-in entry cap (PR 9's serving tier); unbounded stays the default."""
+
+    def test_unbounded_by_default(self, grid_5x5):
+        cache = DistanceCache(grid_5x5)
+        assert cache.max_entries is None
+        for source in range(20):
+            cache.vector(source)
+        assert len(cache) == 20
+
+    def test_cap_evicts_least_recently_used(self, grid_5x5):
+        cache = DistanceCache(grid_5x5, max_entries=2)
+        cache.vector(0)
+        cache.vector(1)
+        cache.vector(2)  # evicts 0
+        assert 0 not in cache
+        assert 1 in cache and 2 in cache
+        assert len(cache) == 2
+
+    def test_hit_refreshes_recency(self, grid_5x5):
+        cache = DistanceCache(grid_5x5, max_entries=2)
+        cache.vector(0)
+        cache.vector(1)
+        cache.vector(0)  # 1 is now the LRU entry
+        cache.vector(2)  # evicts 1, not 0
+        assert 0 in cache and 2 in cache
+        assert 1 not in cache
+
+    def test_capped_hits_still_memoize(self, grid_5x5):
+        cache = DistanceCache(grid_5x5, max_entries=4)
+        assert cache.vector(3) is cache.vector(3)
+
+    def test_set_max_entries_trims_immediately(self, grid_5x5):
+        cache = DistanceCache(grid_5x5)
+        for source in range(5):
+            cache.vector(source)
+        cache.set_max_entries(2)
+        assert len(cache) == 2
+        # The two most recently inserted survive.
+        assert 3 in cache and 4 in cache
+
+    def test_uncapping_restores_unbounded_growth(self, grid_5x5):
+        cache = DistanceCache(grid_5x5, max_entries=1)
+        cache.set_max_entries(None)
+        for source in range(6):
+            cache.vector(source)
+        assert len(cache) == 6
+
+    def test_set_max_entries_validation(self, grid_5x5):
+        cache = DistanceCache(grid_5x5)
+        with pytest.raises(ValueError):
+            cache.set_max_entries(0)
+        with pytest.raises(ValueError):
+            DistanceCache(grid_5x5, max_entries=-1)
+
+    def test_contains_respects_mutation(self):
+        graph = path_graph(6)
+        cache = DistanceCache(graph, max_entries=8)
+        cache.vector(0)
+        assert 0 in cache
+        graph.add_edge(0, 5)
+        # Memoized but stale: the version guard makes it a miss.
+        assert 0 not in cache
+        assert cache.vector(0)[5] == 1.0
+        assert 0 in cache
+
+    def test_capped_vectors_match_uncapped(self, grid_5x5):
+        capped = DistanceCache(grid_5x5, max_entries=3)
+        plain = DistanceCache(grid_5x5)
+        for source in range(10):
+            assert list(capped.vector(source)) == list(plain.vector(source))

@@ -28,6 +28,7 @@ EXPECTED_STAGE_ORDER = [
     "fault injection (quick mode)",
     "dynamic churn (quick mode)",
     "store-corruption smoke",
+    "serve smoke (quick mode)",
     "experiments-md drift",
 ]
 
@@ -157,6 +158,13 @@ class TestStagePlan:
         smoke = plan["store-corruption smoke"]
         assert "chaos" in smoke
         assert "--store-smoke" in smoke
+
+    def test_serve_smoke_stage_is_quick_mode_with_the_check_gate(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        serve = plan["serve smoke (quick mode)"]
+        assert "serve" in serve
+        assert ci_check.QUICK_SERVE_REQUESTS in serve
+        assert "--check" in serve
 
 
 class TestMainOrchestration:

@@ -203,3 +203,71 @@ def test_capacity_command_rejects_bad_input(capsys):
         ])
         == 2
     )
+
+
+def test_serve_command_runs_the_load_and_checks(tmp_path, capsys):
+    report_path = tmp_path / "load.json"
+    failures_path = tmp_path / "failures.json"
+    exit_code = main([
+        "serve", "--requests", "120", "--concurrency", "6", "--workers", "2",
+        "--json", str(report_path), "--failures", str(failures_path), "--check",
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "120 requests" in output
+    assert "responses by status" in output
+    assert "serve check: OK" in output
+    report = json.loads(report_path.read_text())
+    assert report["requests"] == 120
+    assert report["dropped"] == 0
+    assert report["status_counts"].get("hit", 0) > 0
+    assert report["status_counts"].get("coalesced", 0) > 0
+    assert set(report["latency_ms"]) == {"p50", "p99", "max"}
+    failures = json.loads(failures_path.read_text())
+    assert failures["schema"] == "repro-failure-manifest/v1"
+    assert failures["count"] == 0
+
+
+def test_serve_command_persists_to_a_store(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main([
+        "serve", "--requests", "40", "--concurrency", "4", "--workers", "2",
+        "--store", str(store),
+    ]) == 0
+    capsys.readouterr()
+    assert any(store.glob("serve-build/*.json"))
+    assert main(["store", "audit", "--store", str(store)]) == 0
+    output = capsys.readouterr().out
+    assert "0 corrupt" in output
+
+
+def test_serve_command_rejects_bad_input(capsys):
+    assert main(["serve", "--requests", "0"]) == 2
+    assert main(["serve", "--concurrency", "0"]) == 2
+    assert main(["serve", "--workers", "0"]) == 2
+    assert main(["serve", "--queue-limit", "0"]) == 2
+    assert main(["serve", "--request-timeout", "0"]) == 2
+
+
+def test_store_audit_flags_corruption(tmp_path, capsys):
+    from repro.experiments import ResultStore
+
+    store_dir = tmp_path / "store"
+    store = ResultStore(store_dir)
+    good = store.put("s", "1" * 32, {"v": 1}, params={}, seed=0,
+                     workload_fingerprint="", version="1")
+    bad = store.put("s", "2" * 32, {"v": 2}, params={}, seed=0,
+                    workload_fingerprint="", version="1")
+    bad.write_text("garbage", encoding="utf-8")
+    assert main(["store", "audit", "--store", str(store_dir)]) == 1
+    output = capsys.readouterr().out
+    assert "1 corrupt" in output
+    assert "CORRUPT s/" + "2" * 32 in output
+    assert good.exists() and not bad.exists()
+    # The corrupt entry was invalidated: a second audit is clean.
+    assert main(["store", "audit", "--store", str(store_dir)]) == 0
+
+
+def test_store_audit_missing_directory(capsys):
+    assert main(["store", "audit", "--store", "/no/such/store-dir"]) == 2
+    assert "no result store" in capsys.readouterr().err
