@@ -3,40 +3,47 @@
 
 Runs, in order (see :func:`stage_plan`):
 
-1. ``tier-1 tests`` -- the full pytest suite (``PYTHONPATH=src python -m
+1. ``lint (ruff)`` -- ``ruff check`` over the tree with the pinned config in
+   pyproject.toml.  Skipped (not failed) when ruff is not installed locally;
+   the workflows install the pinned version so the stage always runs in CI.
+2. ``tier-1 tests`` -- the full pytest suite (``PYTHONPATH=src python -m
    pytest -x -q``); ``--junitxml PATH`` passes a JUnit report path through to
    pytest, ``--fast`` skips the stage entirely.
-2. ``tier-1 tests (pure-python kernel)`` -- the same suite pinned to
+3. ``tier-1 tests (pure-python kernel)`` -- the same suite pinned to
    ``REPRO_KERNEL=python``: the tree must work without the vectorized
    NumPy/SciPy tier (an optional extra).  Also skipped under ``--fast``.
-3. ``golden counters`` -- ``scripts/bench_compare.py --skip-benchmarks``
+4. ``golden counters`` -- ``scripts/bench_compare.py --skip-benchmarks``
    against the committed ``BENCH_seed.json``: the fixed distributed build and
    BFS-forest protocol must stay bit-identical.  ``--snapshot PATH`` keeps
    the produced snapshot (CI uploads it as an artifact).
-4. ``phase micro-benchmarks (quick mode)`` -- the superclustering /
+5. ``phase micro-benchmarks (quick mode)`` -- the superclustering /
    interconnection phase drivers run once, assertions only.
-5. ``capacity ladder (quick mode)`` -- ``repro capacity`` on a tiny budget
+6. ``capacity ladder (quick mode)`` -- ``repro capacity`` on a tiny budget
    and window: exercises the measured-capacity search and its CLI end to end
    on every push without paying real measurement time.
-6. ``capacity ladder (quick mode, numpy kernel)`` -- the same quick ladder
+7. ``capacity ladder (quick mode, numpy kernel)`` -- the same quick ladder
    under ``repro --kernel numpy``: drives the vectorized kernels through the
    whole capacity CLI.
-7. ``fault injection (quick mode)`` -- ``repro chaos`` over the
+8. ``fault injection (quick mode)`` -- ``repro chaos`` over the
    chaos-primitives matrix with a wall-clock task timeout: every injected
    fault schedule must terminate in a typed outcome (the scenario checks
    enforce it) and the failure manifest must validate against its schema.
-8. ``dynamic churn (quick mode)`` -- ``repro dynamic`` over the
+9. ``dynamic churn (quick mode)`` -- ``repro dynamic`` over the
    dynamic-churn matrix: every incremental-capable algorithm maintains its
    spanner through seeded churn traces and the scenario checks re-verify the
    declared guarantee after every single step.
-9. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
-   cached task entry, then prove the store invalidates it, recomputes exactly
-   that task on resume, and reproduces a byte-identical record.
-10. ``serve smoke (quick mode)`` -- ``repro serve --check`` on a small seeded
+10. ``store-corruption smoke`` -- ``repro chaos --store-smoke``: corrupt one
+    cached task entry, then prove the store invalidates it, recomputes exactly
+    that task on resume, and reproduces a byte-identical record.
+11. ``serve smoke (quick mode)`` -- ``repro serve --check`` on a small seeded
     mixed load: the request broker must show cache hits and coalesced
     single-flight builds and lose no request (zero dropped / failed /
     rejected responses).
-11. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
+12. ``registry completeness`` -- ``scripts/registry_check.py``: every
+    registered algorithm must have a measured CAPACITY.json entry, a row in
+    EXPERIMENTS.md's Algorithm registry table, and membership in at least
+    one scenario matrix.  Registration drift fails the build.
+13. ``experiments-md drift`` -- the committed EXPERIMENTS.md must match the
     current algorithm/scenario registries.
 
 Stages run sequentially and the first failure stops the run (later stages
@@ -55,6 +62,7 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -140,7 +148,14 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
             "-x",
             "-q",
         ]
+    # Lint runs wherever ruff is installed (the workflows pin and install
+    # it); locally it degrades to a skip instead of failing on a missing
+    # optional tool.
+    lint_cmd: Optional[List[str]] = None
+    if shutil.which("ruff"):
+        lint_cmd = ["ruff", "check", str(REPO_ROOT)]
     return [
+        ("lint (ruff)", lint_cmd),
         ("tier-1 tests", pytest_cmd),
         ("tier-1 tests (pure-python kernel)", pure_pytest_cmd),
         (
@@ -251,6 +266,13 @@ def stage_plan(args: argparse.Namespace, snapshot_path: str) -> List[Tuple[str, 
                 "--workers",
                 "2",
                 "--check",
+            ],
+        ),
+        (
+            "registry completeness",
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "registry_check.py"),
             ],
         ),
         (

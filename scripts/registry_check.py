@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Registry completeness gate: every registration gets its full entitlement.
+
+The algorithm registry's promise is that registering a spec is *all* it takes
+for an algorithm to be measured, documented and guarantee-checked.  This
+script makes CI prove the entitlement mechanically.  For every registered
+algorithm it asserts:
+
+1. **capacity** -- a measured entry in the committed ``CAPACITY.json`` ladder
+   (``repro capacity --update-defaults`` writes it), so ``max_practical_vertices``
+   hints are honest measurements, not placeholders;
+2. **docs** -- a row in EXPERIMENTS.md's "Algorithm registry" table
+   (``scripts/generate_experiments_md.py`` writes it);
+3. **scenario membership** -- at least one registered experiment scenario
+   expands a task for the algorithm (the registry-driven matrices of
+   ``table2``, the size sweeps or the dynamic tier), so every registration is
+   actually exercised by the experiment pipeline.
+
+Any drift -- a registration missing a capacity measurement, a stale docs
+table, an algorithm no scenario runs -- fails the build with one line per
+problem.  Run locally::
+
+    python scripts/registry_check.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import algorithms  # noqa: E402
+from repro.experiments import all_specs  # noqa: E402
+
+EXPERIMENTS_MD = REPO_ROOT / "EXPERIMENTS.md"
+CAPACITY_JSON = REPO_ROOT / "src" / "repro" / "algorithms" / "CAPACITY.json"
+
+
+def scenario_membership() -> Dict[str, Set[str]]:
+    """``algorithm -> scenarios`` derived by expanding every scenario's tasks.
+
+    Scenario matrices put the algorithm name in the task parameter dict under
+    ``"algorithm"`` (the convention of every registry-driven matrix), so task
+    expansion -- not a parallel bookkeeping table -- is the source of truth.
+    """
+    members: Dict[str, Set[str]] = {}
+    for spec in all_specs():
+        for params in spec.task_params():
+            name = params.get("algorithm")
+            if isinstance(name, str):
+                members.setdefault(name, set()).add(spec.name)
+    return members
+
+
+def capacity_entries(path: Path) -> Set[str]:
+    """Algorithm names with a positive measured capacity in the ladder."""
+    try:
+        ladder = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    measured = set()
+    entries = ladder.get("entries")
+    if not isinstance(entries, dict):
+        return set()
+    for name, entry in entries.items():
+        try:
+            if int(entry["max_practical_vertices"]) > 0:
+                measured.add(name)
+        except (KeyError, TypeError, ValueError):
+            continue
+    return measured
+
+
+def documented_algorithms(path: Path) -> Set[str]:
+    """Algorithm names with a row in EXPERIMENTS.md's registry table."""
+    try:
+        content = path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    marker = "## Algorithm registry"
+    start = content.find(marker)
+    if start < 0:
+        return set()
+    # The table ends at the next section heading.
+    end = content.find("\n## ", start + len(marker))
+    section = content[start : end if end > 0 else len(content)]
+    documented = set()
+    for line in section.splitlines():
+        if line.startswith("| ") and not line.startswith("| ---"):
+            first_cell = line.split("|")[1].strip()
+            if first_cell and first_cell != "algorithm":
+                documented.add(first_cell)
+    return documented
+
+
+def find_problems(
+    experiments_md: Path = EXPERIMENTS_MD, capacity_json: Path = CAPACITY_JSON
+) -> List[str]:
+    """One human-readable line per completeness violation (empty = healthy)."""
+    problems: List[str] = []
+    names = algorithms.algorithm_names()
+    measured = capacity_entries(capacity_json)
+    documented = documented_algorithms(experiments_md)
+    members = scenario_membership()
+
+    for name in names:
+        if name not in measured:
+            problems.append(
+                f"{name}: no measured entry in {capacity_json.name} "
+                "(run `repro capacity --update-defaults`)"
+            )
+        if name not in documented:
+            problems.append(
+                f"{name}: no row in EXPERIMENTS.md's Algorithm registry table "
+                "(run scripts/generate_experiments_md.py)"
+            )
+        if name not in members:
+            problems.append(
+                f"{name}: no registered scenario expands a task for it "
+                "(every registration must be exercised by at least one matrix)"
+            )
+
+    # Drift in the other direction: docs rows for unregistered algorithms are
+    # stale copy that would mislead readers.
+    for name in sorted(documented - set(names)):
+        problems.append(
+            f"{name}: documented in EXPERIMENTS.md but not registered "
+            "(run scripts/generate_experiments_md.py)"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiments-md",
+        type=Path,
+        default=EXPERIMENTS_MD,
+        help="EXPERIMENTS.md to check (default: the committed one)",
+    )
+    parser.add_argument(
+        "--capacity-json",
+        type=Path,
+        default=CAPACITY_JSON,
+        help="capacity ladder to check (default: the committed one)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = find_problems(args.experiments_md, args.capacity_json)
+    names = algorithms.algorithm_names()
+    if problems:
+        for problem in problems:
+            print(f"registry completeness: {problem}", file=sys.stderr)
+        print(
+            f"registry completeness: {len(problems)} problem(s) across "
+            f"{len(names)} registered algorithms",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"registry completeness: all {len(names)} registered algorithms have "
+        "a measured capacity entry, a docs row and scenario membership"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ See :mod:`repro.algorithms.registry` for the spec/registry contracts and
 """
 
 from .registry import (
+    GUARANTEE_KINDS,
     AlgorithmSpec,
     ParamSpec,
     algorithm_names,
@@ -29,6 +30,7 @@ from .registry import (
 from .result import RUN_RESULT_KEYS, RUN_RESULT_SCHEMA, RunResult
 
 __all__ = [
+    "GUARANTEE_KINDS",
     "RUN_RESULT_KEYS",
     "RUN_RESULT_SCHEMA",
     "AlgorithmSpec",

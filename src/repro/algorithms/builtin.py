@@ -7,7 +7,11 @@ Importing this module (done lazily by the registry) registers:
 * ``elkin-neiman-2017`` -- the randomized [EN17]-style comparator;
 * ``elkin-peleg-2001`` -- the centralized scan-based [EP01]-style scheme;
 * ``elkin05-surrogate`` -- the sequential-selection surrogate of [Elk05];
-* ``baswana-sen`` / ``greedy`` -- the multiplicative contrast class.
+* ``baswana-sen`` / ``greedy`` -- the multiplicative contrast class;
+* the survey-tier siblings: ``elkin-mst-2017`` (the deterministic distributed
+  MST on the CONGEST simulator), ``elkin-matar-linear`` /
+  ``elkin-neiman-sparse`` (the doubly-exponential sparse-schedule spanners)
+  and ``eest-low-stretch-tree`` (the average-stretch spanning tree).
 
 Adding an algorithm is one :func:`~repro.algorithms.registry.register` call:
 every registry-driven scenario matrix, the CLI and the guarantee property
@@ -22,11 +26,17 @@ from ..analysis.capacity import MEASURED_HINTS_PATH, load_ladder
 from ..baselines import (
     build_baswana_sen_spanner,
     build_elkin05_surrogate_spanner,
+    build_elkin_matar_spanner,
+    build_elkin_mst,
     build_elkin_neiman_spanner,
+    build_elkin_neiman_sparse_spanner,
     build_elkin_peleg_spanner,
     build_greedy_spanner,
+    build_low_stretch_tree,
     elkin05_surrogate_guarantee,
+    elkin_matar_guarantee,
     elkin_neiman_guarantee,
+    elkin_neiman_sparse_guarantee,
     elkin_peleg_guarantee,
 )
 from ..core.parameters import SpannerParameters, StretchGuarantee
@@ -102,6 +112,37 @@ def _warn_if_stale_backend(ladder: Dict[str, object]) -> None:
 def _measured_hint(name: str, fallback: Optional[int]) -> Optional[int]:
     """The measured capacity of ``name``, or the hand-set ``fallback``."""
     return measured_capacity_hints().get(name, fallback)
+
+
+def capacity_provenance(name: str) -> Dict[str, object]:
+    """Where an algorithm's ``max_practical_vertices`` hint comes from.
+
+    ``{"capacity_source": "measured", ...}`` with the committed ladder's
+    measurement metadata (budget, workload family, kernel backend/mode) when
+    the hint was read from ``CAPACITY.json``; ``{"capacity_source":
+    "fallback"}`` when the algorithm runs on its hand-set fallback (or no
+    limit at all).  Surfaced by ``repro algorithms list --json`` so operators
+    can tell honest measurements from placeholders.
+    """
+    provenance: Dict[str, object] = {"capacity_source": "fallback"}
+    ladder = load_ladder(MEASURED_CAPACITY_PATH)
+    if ladder is None:
+        return provenance
+    entry = ladder.get("entries", {}).get(name)
+    if not isinstance(entry, dict):
+        return provenance
+    try:
+        capacity = int(entry["max_practical_vertices"])
+    except (KeyError, TypeError, ValueError):
+        return provenance
+    if capacity <= 0:
+        return provenance
+    provenance["capacity_source"] = "measured"
+    for key in ("budget_seconds", "family", "kernel_backend", "kernel_mode"):
+        if key in ladder:
+            provenance[key] = ladder[key]
+    provenance["budget_exhausted"] = bool(entry.get("budget_exhausted", False))
+    return provenance
 
 
 #: The shared parameter schema of every (1+eps, beta)-spanner construction.
@@ -361,5 +402,137 @@ GREEDY = register(
         # interactive (hand-set 400 is the ladder-less fallback).
         supports_incremental=True,
         max_practical_vertices=_measured_hint("greedy", 400),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Survey-tier siblings (PR 10)
+# ----------------------------------------------------------------------
+#: Parameter schema of the sparse-schedule ([EM19]/[EN16]-style) siblings.
+SPARSE_PARAMS = (
+    ParamSpec(
+        "epsilon", 0.5,
+        "internal stretch slack driving the distance thresholds",
+    ),
+    ParamSpec(
+        "levels", 3,
+        "doubly-exponential degree levels; spanner size exponent 1 + 1/2^levels",
+    ),
+)
+
+
+def _sparse_args(params: Params) -> Dict[str, object]:
+    return {"epsilon": float(params["epsilon"]), "levels": int(params["levels"])}
+
+
+def _elkin_matar_guarantee(params: Params) -> StretchGuarantee:
+    return elkin_matar_guarantee(**_sparse_args(params))
+
+
+def build_elkin_matar(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("elkin-matar-linear", simulator)
+    return RunResult.from_baseline_result(
+        build_elkin_matar_spanner(graph, **_sparse_args(params))
+    )
+
+
+ELKIN_MATAR = register(
+    AlgorithmSpec(
+        name="elkin-matar-linear",
+        description=(
+            "Deterministic [EM19]-style linear-size-schedule spanner: a greedy "
+            "scan superclusters doubly-exponentially popular neighbourhoods."
+        ),
+        build=build_elkin_matar,
+        tags=("baseline", "deterministic", "centralized", "near-additive", "sparse"),
+        params=SPARSE_PARAMS,
+        guarantee=_elkin_matar_guarantee,
+        supports_incremental=True,
+        max_practical_vertices=_measured_hint("elkin-matar-linear", None),
+    )
+)
+
+
+def _elkin_neiman_sparse_guarantee(params: Params) -> StretchGuarantee:
+    return elkin_neiman_sparse_guarantee(**_sparse_args(params))
+
+
+def build_elkin_neiman_sparse(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("elkin-neiman-sparse", simulator)
+    return RunResult.from_baseline_result(
+        build_elkin_neiman_sparse_spanner(graph, seed=seed, **_sparse_args(params))
+    )
+
+
+ELKIN_NEIMAN_SPARSE = register(
+    AlgorithmSpec(
+        name="elkin-neiman-sparse",
+        description=(
+            "Randomized [EN16]-style very sparse spanner: 1/deg_i sampling on "
+            "the doubly-exponential degree schedule."
+        ),
+        build=build_elkin_neiman_sparse,
+        tags=("baseline", "randomized", "centralized", "near-additive", "sparse"),
+        params=SPARSE_PARAMS,
+        guarantee=_elkin_neiman_sparse_guarantee,
+        supports_incremental=True,
+        max_practical_vertices=_measured_hint("elkin-neiman-sparse", None),
+    )
+)
+
+
+def build_elkin_mst_registered(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    return RunResult.from_baseline_result(
+        build_elkin_mst(graph, seed=seed, simulator=simulator)
+    )
+
+
+ELKIN_MST = register(
+    AlgorithmSpec(
+        name="elkin-mst-2017",
+        description=(
+            "Elkin's deterministic distributed MST [Elk17] as a Boruvka "
+            "fragment-merging CONGEST protocol; exact vs Kruskal by "
+            "construction."
+        ),
+        build=build_elkin_mst_registered,
+        tags=("baseline", "mst", "deterministic", "distributed", "congest"),
+        params=(),
+        guarantee=None,
+        guarantee_kind="exact-mst",
+        # Every build simulates the full Boruvka message schedule (same cost
+        # profile as new-distributed): too expensive for per-step dynamic
+        # rebuilds, and capped by the measured ladder (hand-set 300 is the
+        # ladder-less fallback).
+        supports_incremental=False,
+        max_practical_vertices=_measured_hint("elkin-mst-2017", 300),
+    )
+)
+
+
+def build_eest_tree(graph: Graph, params: Params, *, seed: int = 0, simulator=None) -> RunResult:
+    _reject_simulator("eest-low-stretch-tree", simulator)
+    return RunResult.from_baseline_result(build_low_stretch_tree(graph))
+
+
+EEST_LOW_STRETCH_TREE = register(
+    AlgorithmSpec(
+        name="eest-low-stretch-tree",
+        description=(
+            "Elkin-Emek-Spielman-Teng-style low-stretch spanning tree "
+            "[EEST05]: star decomposition with a polylog average-stretch "
+            "bound."
+        ),
+        build=build_eest_tree,
+        tags=("baseline", "deterministic", "centralized", "tree"),
+        params=(),
+        guarantee=None,
+        guarantee_kind="average-stretch",
+        # A tree cannot absorb churn against a worst-case stretch bound (one
+        # removed edge can disconnect it), so the dynamic tier's repair
+        # argument does not apply.
+        supports_incremental=False,
+        max_practical_vertices=_measured_hint("eest-low-stretch-tree", None),
     )
 )

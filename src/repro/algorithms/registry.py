@@ -48,6 +48,15 @@ GuaranteeFn = Callable[[Params], StretchGuarantee]
 #: algorithms (the engine variants and every implemented baseline).
 _BUILTIN_ALGORITHM_MODULE = "repro.algorithms.builtin"
 
+#: The guarantee kinds a spec may declare.  ``stretch`` is the spanner
+#: family's per-pair ``(1 + eps, beta)`` bound; ``exact-mst`` promises the
+#: exact minimum spanning forest under the canonical edge weights;
+#: ``average-stretch`` bounds the stretch *averaged* over vertex pairs (the
+#: low-stretch-tree contract).  :func:`repro.analysis.guarantees.verify_registered_guarantee`
+#: dispatches on this field, so registering a new kind means teaching exactly
+#: that one function how to check it.
+GUARANTEE_KINDS = ("stretch", "exact-mst", "average-stretch")
+
 
 @dataclass(frozen=True)
 class ParamSpec:
@@ -94,6 +103,16 @@ class AlgorithmSpec:
     #: a cost far beyond the centralized references (e.g. a full CONGEST
     #: simulation).
     supports_incremental: bool = False
+    #: Which *kind* of guarantee the algorithm makes (one of
+    #: :data:`GUARANTEE_KINDS`); guarantee verification dispatches on it.
+    guarantee_kind: str = "stretch"
+
+    def __post_init__(self) -> None:
+        if self.guarantee_kind not in GUARANTEE_KINDS:
+            raise ValueError(
+                f"algorithm {self.name!r} declares unknown guarantee kind "
+                f"{self.guarantee_kind!r}; known: {GUARANTEE_KINDS!r}"
+            )
 
     # ------------------------------------------------------------------
     # Parameter handling
@@ -187,6 +206,7 @@ class AlgorithmSpec:
             ),
             "max_practical_vertices": self.max_practical_vertices,
             "supports_incremental": self.supports_incremental,
+            "guarantee_kind": self.guarantee_kind,
         }
 
 

@@ -1,20 +1,39 @@
-"""Baseline spanner constructions the paper compares against."""
+"""Baseline constructions the paper's tables compare against.
+
+Alongside the original spanner baselines, this package hosts the survey-tier
+siblings: Elkin's distributed MST, the sparse-schedule Elkin-Matar and
+Elkin-Neiman spanners, and the EEST low-stretch spanning tree.
+"""
 
 from .base import BaselineResult
 from .baswana_sen import build_baswana_sen_spanner
 from .elkin05_surrogate import build_elkin05_surrogate_spanner, elkin05_surrogate_guarantee
+from .elkin_matar import build_elkin_matar_spanner, elkin_matar_guarantee
 from .elkin_neiman import build_elkin_neiman_spanner, elkin_neiman_guarantee
+from .elkin_neiman_sparse import (
+    build_elkin_neiman_sparse_spanner,
+    elkin_neiman_sparse_guarantee,
+)
 from .elkin_peleg import build_elkin_peleg_spanner, elkin_peleg_guarantee
 from .greedy import build_greedy_spanner
+from .low_stretch_tree import build_low_stretch_tree, declared_average_stretch_bound
+from .mst import build_elkin_mst
 
 __all__ = [
     "BaselineResult",
     "build_baswana_sen_spanner",
     "build_elkin05_surrogate_spanner",
+    "build_elkin_matar_spanner",
+    "build_elkin_mst",
     "build_elkin_neiman_spanner",
+    "build_elkin_neiman_sparse_spanner",
     "build_elkin_peleg_spanner",
     "build_greedy_spanner",
+    "build_low_stretch_tree",
+    "declared_average_stretch_bound",
     "elkin05_surrogate_guarantee",
+    "elkin_matar_guarantee",
     "elkin_neiman_guarantee",
+    "elkin_neiman_sparse_guarantee",
     "elkin_peleg_guarantee",
 ]

@@ -29,7 +29,7 @@ from typing import Dict, List, Set, Tuple
 from ..core.certificate import INTERCONNECTION_STEP, SUPERCLUSTERING_STEP, SpannerCertificate
 from ..core.cluster_table import ClusterTable
 from ..core.interconnection import count_interconnection_paths, interconnection_requests
-from ..core.parameters import SpannerParameters, guarantee_from_schedules
+from ..core.parameters import SpannerParameters, StretchGuarantee, guarantee_from_schedules
 from ..core.superclustering import (
     deterministic_forest,
     forest_path_edges,
@@ -68,7 +68,7 @@ def _elkin05_schedules(parameters: SpannerParameters) -> Tuple[List[int], List[i
     return radii[: parameters.num_phases], deltas
 
 
-def elkin05_surrogate_guarantee(parameters: SpannerParameters) -> "StretchGuarantee":
+def elkin05_surrogate_guarantee(parameters: SpannerParameters) -> StretchGuarantee:
     """The ``(1 + alpha, beta)`` guarantee the surrogate declares.
 
     Computed from the same schedules the builder uses, so the algorithm

@@ -35,7 +35,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..core.cluster_table import ClusterTable
-from ..core.parameters import SpannerParameters, guarantee_from_schedules
+from ..core.parameters import SpannerParameters, StretchGuarantee, guarantee_from_schedules
 from ..graphs.bfs import bfs
 from ..graphs.graph import Graph, normalize_edge
 from .base import BaselineResult
@@ -52,7 +52,7 @@ def _en_schedules(parameters: SpannerParameters) -> Tuple[List[int], List[int]]:
     return radii[: parameters.num_phases], deltas
 
 
-def elkin_neiman_guarantee(parameters: SpannerParameters) -> "StretchGuarantee":
+def elkin_neiman_guarantee(parameters: SpannerParameters) -> StretchGuarantee:
     """The ``(1 + alpha, beta)`` guarantee the randomized construction declares.
 
     Computed from the same radius/threshold schedules the builder uses, so the

@@ -26,7 +26,7 @@ import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.cluster_table import ClusterTable
-from ..core.parameters import SpannerParameters, guarantee_from_schedules
+from ..core.parameters import SpannerParameters, StretchGuarantee, guarantee_from_schedules
 from ..graphs.bfs import bfs
 from ..graphs.graph import Graph, normalize_edge
 from .base import BaselineResult
@@ -43,7 +43,7 @@ def _ep_schedules(parameters: SpannerParameters) -> Tuple[List[int], List[int]]:
     return radii[: parameters.num_phases], deltas
 
 
-def elkin_peleg_guarantee(parameters: SpannerParameters) -> "StretchGuarantee":
+def elkin_peleg_guarantee(parameters: SpannerParameters) -> StretchGuarantee:
     """The ``(1 + alpha, beta)`` guarantee the scan-based construction declares.
 
     Computed from the same radius/threshold schedules the builder uses, so the

@@ -1,0 +1,149 @@
+"""Elkin-Emek-Spielman-Teng-style low-stretch spanning tree ([EEST05], cs/0411064).
+
+[EEST05] builds spanning trees with *average* stretch
+``O(log^2 n * log log n)`` via star decomposition: cut a central ball of
+carefully chosen radius (picked where the BFS-layer cut is small), attach
+each remaining component through a single portal edge, and recurse.  The
+guarantee is fundamentally different from the spanner family's worst-case
+``(1 + eps, beta)`` bound -- a tree cannot have small worst-case stretch, but
+its stretch *averaged over vertex pairs* stays polylogarithmic.  That is why
+the registry gives this entry its own guarantee kind (``average-stretch``):
+verification samples vertex pairs through :class:`DistanceCache` and checks
+the measured average against the declared bound, rather than checking each
+pair individually.
+
+The decomposition here follows the star-decomposition skeleton on unweighted
+graphs: balls are BFS balls, the cut radius minimizes the number of edges
+crossing a BFS layer within the allowed ``[r/4, r/2]`` window, and anchors
+and portals are chosen by minimum ID so the tree is deterministic.  The
+declared average-stretch bound is the conservative
+``8 * (log2 n + 1)^2`` -- the ``O(log^2 n)``-shaped envelope the recursion
+targets, with a constant generous enough to hold across the registry's
+workload families (honest surrogacy: the bound is checked, not assumed).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from ..core.parameters import StretchGuarantee
+from ..graphs.graph import Graph
+from .base import BaselineResult
+
+#: Components at or below this size just take their BFS tree; the
+#: decomposition's asymptotics only matter once there is room to cut.
+_SMALL_COMPONENT = 8
+
+
+def declared_average_stretch_bound(num_vertices: int) -> float:
+    """The ``O(log^2 n)``-shaped average-stretch bound the builder declares."""
+    if num_vertices <= 2:
+        return 1.0
+    return 8.0 * (math.log2(num_vertices) + 1.0) ** 2
+
+
+def _restricted_bfs(
+    graph: Graph, root: int, vertices: Set[int]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """BFS from ``root`` inside the induced subgraph on ``vertices``."""
+    dist = {root: 0}
+    parent: Dict[int, int] = {}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in vertices and v not in dist:
+                dist[v] = dist[u] + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def _star_cut_radius(graph: Graph, dist: Dict[int, int], radius: int) -> int:
+    """The cut radius in ``[ceil(r/4), floor(r/2)]`` with the fewest crossing edges.
+
+    On an unweighted graph every edge joins vertices in adjacent (or equal)
+    BFS layers, so the cut at radius ``r0`` is exactly the set of edges
+    between layers ``r0`` and ``r0 + 1``.
+    """
+    lo = max(1, (radius + 3) // 4)
+    hi = max(lo, radius // 2)
+    crossing = [0] * (radius + 1)
+    for u, d_u in dist.items():
+        for v in graph.neighbors(u):
+            d_v = dist.get(v)
+            if d_v == d_u + 1:
+                crossing[d_u] += 1
+    best = lo
+    for r0 in range(lo, hi + 1):
+        if crossing[r0] < crossing[best]:
+            best = r0
+    return best
+
+
+def build_low_stretch_tree(graph: Graph) -> BaselineResult:
+    """Build a low-average-stretch spanning forest by star decomposition."""
+    n = graph.num_vertices
+    tree = Graph(n)
+    cuts = 0
+    portals = 0
+
+    assigned: Set[int] = set()
+    stack: List[Tuple[Set[int], int]] = []
+    all_vertices = set(range(n))
+    for start in range(n):
+        if start in assigned:
+            continue
+        dist, _ = _restricted_bfs(graph, start, all_vertices)
+        component = set(dist)
+        assigned |= component
+        stack.append((component, start))
+
+    while stack:
+        vertices, root = stack.pop()
+        dist, parent = _restricted_bfs(graph, root, vertices)
+        radius = max(dist.values())
+        if radius <= 2 or len(vertices) <= _SMALL_COMPONENT:
+            for v, p in parent.items():
+                tree.add_edge(v, p)
+            continue
+
+        r0 = _star_cut_radius(graph, dist, radius)
+        cuts += 1
+        ball = {v for v, d in dist.items() if d <= r0}
+        stack.append((ball, root))
+
+        remainder = vertices - ball
+        while remainder:
+            seed_vertex = min(remainder)
+            comp_dist, _ = _restricted_bfs(graph, seed_vertex, remainder)
+            component = set(comp_dist)
+            remainder -= component
+            # The anchor is the minimum-ID component vertex adjacent to the
+            # ball; its minimum-ID ball neighbour is the portal.  A crossing
+            # vertex always exists: any path to the root enters the ball.
+            anchor = min(
+                v for v in component if any(u in ball for u in graph.neighbors(v))
+            )
+            portal = min(u for u in graph.neighbors(anchor) if u in ball)
+            tree.add_edge(anchor, portal)
+            portals += 1
+            stack.append((component, anchor))
+
+    return BaselineResult(
+        name="eest-low-stretch-tree",
+        graph=graph,
+        spanner=tree,
+        # Worst-case pair stretch on a tree is trivially bounded by n - 1;
+        # the real (average-stretch) bound is declared in the details and
+        # checked by the registry's ``average-stretch`` guarantee kind.
+        guarantee=StretchGuarantee(multiplicative=float(max(1, n - 1)), additive=0.0),
+        nominal_rounds=None,
+        details={
+            "average_stretch_bound": declared_average_stretch_bound(n),
+            "star_cuts": cuts,
+            "portal_edges": portals,
+        },
+    )

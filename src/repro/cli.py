@@ -235,7 +235,20 @@ def _cmd_algorithms_list(args: argparse.Namespace) -> int:
         print(f"no algorithms match tags {args.tag!r}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        from .algorithms.builtin import capacity_provenance
+
+        # describe() already carries supports_incremental and guarantee_kind;
+        # the provenance fields say whether each capacity hint was measured
+        # by the committed ladder or is a hand-set fallback.
+        print(
+            json.dumps(
+                [
+                    dict(spec.describe(), **capacity_provenance(spec.name))
+                    for spec in specs
+                ],
+                indent=2,
+            )
+        )
         return 0
     rows = [
         {
@@ -245,12 +258,19 @@ def _cmd_algorithms_list(args: argparse.Namespace) -> int:
                 f"{param.name}={param.default!r}" for param in spec.params
             ),
             "max n": spec.max_practical_vertices,
+            "capacity": _capacity_source(spec.name),
             "description": spec.description,
         }
         for spec in specs
     ]
     print(render_table(rows))
     return 0
+
+
+def _capacity_source(name: str) -> str:
+    from .algorithms.builtin import capacity_provenance
+
+    return str(capacity_provenance(name)["capacity_source"])
 
 
 def _check_resume(args: argparse.Namespace) -> Optional[str]:

@@ -17,6 +17,7 @@ from .exploration import (
     centralized_engine_exploration,
     run_bounded_exploration,
 )
+from .fragments import MSFResult, run_boruvka_msf
 from .ruling_set import (
     RulingSetResult,
     centralized_ruling_set,
@@ -41,6 +42,7 @@ __all__ = [
     "ExplorationResult",
     "ForestResult",
     "KnownCenter",
+    "MSFResult",
     "RulingSetResult",
     "TracebackResult",
     "centralized_bounded_exploration",
@@ -54,6 +56,7 @@ __all__ = [
     "id_digits",
     "run_bellman_ford",
     "run_bfs_forest",
+    "run_boruvka_msf",
     "run_bounded_exploration",
     "run_broadcast",
     "run_convergecast",

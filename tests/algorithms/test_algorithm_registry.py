@@ -20,6 +20,11 @@ EXPECTED_ALGORITHMS = {
     "elkin05-surrogate",
     "baswana-sen",
     "greedy",
+    # PR 10 survey siblings.
+    "elkin-mst-2017",
+    "elkin-matar-linear",
+    "elkin-neiman-sparse",
+    "eest-low-stretch-tree",
 }
 
 
@@ -44,13 +49,20 @@ class TestBuiltinRegistry:
             "elkin-neiman-2017",
             "elkin-peleg-2001",
             "elkin05-surrogate",
+            "elkin-matar-linear",
+            "elkin-neiman-sparse",
         }
         multiplicative = {spec.name for spec in select(tags=("multiplicative",))}
         assert multiplicative == {"baswana-sen", "greedy"}
         deterministic_congest = {
             spec.name for spec in select(tags=("deterministic", "congest"))
         }
-        assert deterministic_congest == {"new-distributed", "elkin05-surrogate"}
+        assert deterministic_congest == {
+            "new-distributed",
+            "elkin05-surrogate",
+            "elkin-mst-2017",
+        }
+        assert {spec.name for spec in select(tags=("mst",))} == {"elkin-mst-2017"}
 
     def test_select_engines_sort_first(self):
         names = [spec.name for spec in select()]

@@ -12,9 +12,10 @@ from __future__ import annotations
 import pytest
 
 from repro import algorithms
-from repro.analysis import evaluate_run_stretch, evaluate_stretch
+from repro.analysis import evaluate_run_stretch, evaluate_stretch, verify_registered_guarantee
 from repro.graphs import clustered_path_graph, gnp_random_graph
 from repro.graphs.components import same_component_structure
+from repro.kernels import numpy_available
 
 #: Human-scale phase thresholds; every spec picks its declared subset.
 PARAMETER_POOL = {
@@ -67,6 +68,73 @@ def test_declared_guarantee_matches_spec_formula(name):
     reported = run.effective_guarantee()
     assert reported.multiplicative == pytest.approx(declared.multiplicative)
     assert reported.additive == pytest.approx(declared.additive)
+
+
+@pytest.mark.parametrize("name", algorithms.algorithm_names())
+def test_registered_guarantee_kind_verified(name):
+    """Every registration passes the kind-dispatched verifier.
+
+    Unlike :func:`test_declared_guarantee_holds` (which checks the run-level
+    stretch guarantee), this exercises the registry's ``guarantee_kind``
+    dispatch -- exact MST weight for the distributed MST, the declared
+    average-stretch bound for the low-stretch tree, pair stretch for the
+    spanners.
+    """
+    graph = GRAPHS["gnp"]()
+    spec = algorithms.get_spec(name)
+    run = spec.run(graph, spec.subset_params(PARAMETER_POOL), seed=2)
+    check = verify_registered_guarantee(spec, run)
+    assert check.kind == spec.guarantee_kind
+    assert check.ok, f"{name} failed its {check.kind} guarantee: {check.failure}"
+
+
+#: The PR-10 survey siblings: each must be buildable and guarantee-checked
+#: under both kernel pins (the env var is read at backend-resolution time).
+SURVEY_SIBLINGS = (
+    "eest-low-stretch-tree",
+    "elkin-matar-linear",
+    "elkin-mst-2017",
+    "elkin-neiman-sparse",
+)
+
+KERNEL_PINS = ("python", "numpy")
+
+
+def _pin_kernel(monkeypatch, kernel: str) -> None:
+    if kernel == "numpy" and not numpy_available():
+        pytest.skip("numpy/scipy not installed; vectorized pin not testable")
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+
+
+@pytest.mark.parametrize("kernel", KERNEL_PINS)
+@pytest.mark.parametrize("name", SURVEY_SIBLINGS)
+def test_survey_sibling_verified_under_kernel_pin(name, kernel, monkeypatch):
+    _pin_kernel(monkeypatch, kernel)
+    graph = gnp_random_graph(30, 0.15, seed=4)
+    spec = algorithms.get_spec(name)
+    run = spec.run(graph, spec.subset_params(PARAMETER_POOL), seed=1)
+    assert run.spanner.is_subgraph_of(graph)
+    assert same_component_structure(graph, run.spanner)
+    check = verify_registered_guarantee(spec, run)
+    assert check.ok, f"{name} under {kernel} kernel: {check.failure}"
+
+
+@pytest.mark.parametrize("kernel", KERNEL_PINS)
+@pytest.mark.parametrize(
+    "name", [n for n in SURVEY_SIBLINGS if algorithms.get_spec(n).supports_incremental]
+)
+def test_incremental_sibling_survives_churn_under_kernel_pin(name, kernel, monkeypatch):
+    """supports_incremental survey siblings maintain their spanner through churn."""
+    from repro.dynamic import make_trace, run_trace
+
+    _pin_kernel(monkeypatch, kernel)
+    trace = make_trace("uniform", size=32, steps=10, seed=6)
+    dynamic = run_trace(name, trace, seed=3)
+    assert len(dynamic.records) == 10
+    graph, spanner = dynamic.graph, dynamic.spanner
+    assert spanner.is_subgraph_of(graph)
+    report = evaluate_stretch(graph, spanner, guarantee=dynamic.guarantee)
+    assert report.satisfies_guarantee
 
 
 def test_evaluate_run_stretch_accessor_agrees():

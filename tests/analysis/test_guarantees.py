@@ -1,0 +1,91 @@
+"""Guarantee-kind dispatch: one verifier per declared promise."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import algorithms
+from repro.analysis import measured_average_stretch, verify_registered_guarantee
+from repro.graphs import gnp_random_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.mst import kruskal_msf
+
+
+@pytest.fixture()
+def gnp():
+    return gnp_random_graph(32, 0.15, seed=3)
+
+
+def test_stretch_kind_passes_for_spanner(gnp):
+    spec = algorithms.get_spec("greedy")
+    run = spec.run(gnp, {"stretch": 3})
+    check = verify_registered_guarantee(spec, run)
+    assert check.kind == "stretch"
+    assert check.ok and check.failure is None
+    assert check.detail["pairs_checked"] > 0
+
+
+def test_exact_mst_kind_passes_for_protocol(gnp):
+    spec = algorithms.get_spec("elkin-mst-2017")
+    run = spec.run(gnp, {})
+    check = verify_registered_guarantee(spec, run)
+    assert check.kind == "exact-mst"
+    assert check.ok
+    assert check.detail["total_weight"] == check.detail["reference_weight"]
+
+
+def test_exact_mst_kind_fails_on_wrong_edge_set(gnp):
+    spec = algorithms.get_spec("elkin-mst-2017")
+    run = spec.run(gnp, {})
+    # Drop one MSF edge: the verifier must report the exact drift.
+    u, v = kruskal_msf(gnp)[0]
+    broken = Graph(gnp.num_vertices, [e for e in run.spanner.edges() if e != (u, v)])
+    run.spanner = broken
+    check = verify_registered_guarantee(spec, run)
+    assert not check.ok
+    assert "1 missing" in check.failure
+
+
+def test_average_stretch_kind_passes_for_tree(gnp):
+    spec = algorithms.get_spec("eest-low-stretch-tree")
+    run = spec.run(gnp, {})
+    check = verify_registered_guarantee(spec, run)
+    assert check.kind == "average-stretch"
+    assert check.ok
+    assert check.detail["average_stretch"] <= check.detail["declared_bound"]
+
+
+def test_average_stretch_kind_fails_on_disconnecting_subgraph():
+    spec = algorithms.get_spec("eest-low-stretch-tree")
+    graph = path_graph(10)
+    run = spec.run(graph, {})
+    run.spanner = Graph(10, [])  # preserves nothing
+    check = verify_registered_guarantee(spec, run)
+    assert not check.ok
+    assert "not the tree" in check.failure
+
+
+def test_average_stretch_kind_fails_on_tiny_declared_bound(gnp):
+    spec = algorithms.get_spec("eest-low-stretch-tree")
+    run = spec.run(gnp, {})
+    run.details["average_stretch_bound"] = 1.0  # only the graph itself achieves this
+    check = verify_registered_guarantee(spec, run)
+    assert not check.ok
+    assert "exceeds the declared bound" in check.failure
+
+
+def test_measured_average_stretch_identity():
+    graph = gnp_random_graph(24, 0.2, seed=1)
+    check = measured_average_stretch(graph, graph)
+    assert check.ok
+    assert check.detail["average_stretch"] == pytest.approx(1.0)
+
+
+def test_unknown_kind_rejected_at_registration():
+    with pytest.raises(ValueError):
+        algorithms.AlgorithmSpec(
+            name="bogus",
+            description="",
+            build=lambda graph, **_: None,
+            guarantee_kind="best-effort",
+        )

@@ -1,0 +1,79 @@
+"""Tests for the star-decomposition low-average-stretch spanning tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measured_average_stretch
+from repro.baselines import build_low_stretch_tree, declared_average_stretch_bound
+from repro.graphs import (
+    connected_components,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    same_component_structure,
+)
+from repro.graphs.graph import Graph
+
+
+def _is_forest(graph: Graph) -> bool:
+    return graph.num_edges == graph.num_vertices - len(connected_components(graph))
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: path_graph(20),
+        lambda: grid_graph(7, 7),
+        lambda: gnp_random_graph(40, 0.12, seed=1),
+        lambda: gnp_random_graph(50, 0.08, seed=4),
+    ],
+)
+def test_output_is_spanning_forest(make):
+    graph = make()
+    result = build_low_stretch_tree(graph)
+    assert result.spanner.is_subgraph_of(graph)
+    assert same_component_structure(graph, result.spanner)
+    assert _is_forest(result.spanner)
+
+
+def test_average_stretch_within_declared_bound():
+    graph = grid_graph(8, 8)
+    result = build_low_stretch_tree(graph)
+    bound = result.details["average_stretch_bound"]
+    assert bound == declared_average_stretch_bound(graph.num_vertices)
+    check = measured_average_stretch(graph, result.spanner)
+    assert check.ok
+    assert check.detail["average_stretch"] <= bound
+
+
+def test_declared_bound_shape():
+    assert declared_average_stretch_bound(1) == 1.0
+    assert declared_average_stretch_bound(2) == 1.0
+    # O(log^2 n): grows, but far below n for moderate sizes.
+    assert declared_average_stretch_bound(1024) == 8.0 * 11.0**2
+    assert declared_average_stretch_bound(1 << 20) < (1 << 20)
+
+
+def test_disconnected_graph_gets_forest():
+    graph = Graph(7, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    result = build_low_stretch_tree(graph)
+    assert _is_forest(result.spanner)
+    assert same_component_structure(graph, result.spanner)
+
+
+def test_deterministic():
+    graph = gnp_random_graph(36, 0.12, seed=9)
+    a = build_low_stretch_tree(graph)
+    b = build_low_stretch_tree(graph)
+    assert a.spanner == b.spanner
+    assert a.details == b.details
+
+
+def test_decomposition_stats_recorded():
+    # Large-diameter graph: the base case alone cannot cover it, so star
+    # cuts must fire.
+    graph = grid_graph(12, 12)
+    result = build_low_stretch_tree(graph)
+    assert result.details["star_cuts"] > 0
+    assert result.details["portal_edges"] > 0

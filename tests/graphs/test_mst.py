@@ -1,0 +1,112 @@
+"""Canonical MST weights and the centralized Kruskal reference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import gnp_random_graph, grid_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.mst import (
+    edge_order_key,
+    edge_weight,
+    kruskal_msf,
+    msf_weight,
+    total_weight,
+)
+
+
+def test_edge_weight_symmetric_and_bounded():
+    for u, v in [(0, 1), (3, 17), (100, 2), (5, 5_000_000)]:
+        w = edge_weight(u, v)
+        assert w == edge_weight(v, u)
+        assert 1 <= w <= 2**32
+
+
+def test_edge_weight_deterministic():
+    assert edge_weight(7, 12) == edge_weight(7, 12)
+
+
+def test_edge_order_key_is_strict_total_order():
+    graph = gnp_random_graph(30, 0.2, seed=5)
+    keys = [edge_order_key(u, v) for u, v in graph.edges()]
+    assert len(set(keys)) == len(keys), "order keys must be pairwise distinct"
+
+
+def test_kruskal_on_path_takes_every_edge():
+    graph = path_graph(10)
+    msf = kruskal_msf(graph)
+    assert sorted(msf) == sorted(graph.edges())
+
+
+def test_kruskal_msf_size_and_acyclicity():
+    graph = gnp_random_graph(40, 0.12, seed=2)
+    msf = kruskal_msf(graph)
+    forest = Graph(graph.num_vertices, msf)
+    # |MSF| = n - (#components); the forest must preserve component structure.
+    from repro.graphs import connected_components, same_component_structure
+
+    assert len(msf) == graph.num_vertices - len(connected_components(graph))
+    assert same_component_structure(graph, forest)
+
+
+def test_kruskal_handles_disconnected_graph():
+    left = [(0, 1), (1, 2), (0, 2)]
+    right = [(3, 4), (4, 5), (3, 5)]
+    graph = Graph(7, left + right)  # vertex 6 is isolated
+    msf = kruskal_msf(graph)
+    assert len(msf) == 4
+    assert msf_weight(graph) == total_weight(msf)
+
+
+def test_msf_weight_minimal_against_brute_force():
+    """Kruskal's weight matches exhaustive search over spanning trees."""
+    from itertools import combinations
+
+    from repro.graphs import connected_components
+
+    graph = gnp_random_graph(7, 0.5, seed=9)
+    edges = graph.edges()
+    n = graph.num_vertices
+    num_components = len(connected_components(graph))
+    tree_size = n - num_components
+    best = None
+    for subset in combinations(edges, tree_size):
+        candidate = Graph(n, list(subset))
+        if len(connected_components(candidate)) == num_components:
+            weight = total_weight(subset)
+            best = weight if best is None else min(best, weight)
+    assert best is not None
+    assert msf_weight(graph) == best
+
+
+def test_empty_and_single_vertex():
+    assert kruskal_msf(Graph(0, [])) == []
+    assert kruskal_msf(Graph(1, [])) == []
+    assert msf_weight(Graph(1, [])) == 0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_distributed_boruvka_matches_kruskal(seed):
+    """The CONGEST fragment protocol computes exactly the Kruskal MSF."""
+    from repro.congest import Simulator
+    from repro.primitives import run_boruvka_msf
+
+    graph = gnp_random_graph(24, 0.15, seed=seed)
+    outcome = run_boruvka_msf(Simulator(graph, strict_congestion=True))
+    assert sorted(outcome.edges) == sorted(kruskal_msf(graph))
+
+
+def test_distributed_boruvka_on_grid_and_disconnected():
+    from repro.congest import Simulator
+    from repro.primitives import run_boruvka_msf
+
+    grid = grid_graph(4, 5)
+    outcome = run_boruvka_msf(Simulator(grid, strict_congestion=True))
+    assert sorted(outcome.edges) == sorted(kruskal_msf(grid))
+
+    two = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)])
+    outcome = run_boruvka_msf(Simulator(two, strict_congestion=True))
+    assert sorted(outcome.edges) == sorted(kruskal_msf(two))
+    # Fragment labels partition the graph into its two components.
+    assert len({outcome.fragment[v] for v in range(3)}) == 1
+    assert len({outcome.fragment[v] for v in range(3, 6)}) == 1

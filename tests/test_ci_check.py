@@ -19,6 +19,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CI_CHECK_PATH = REPO_ROOT / "scripts" / "ci_check.py"
 
 EXPECTED_STAGE_ORDER = [
+    "lint (ruff)",
     "tier-1 tests",
     "tier-1 tests (pure-python kernel)",
     "golden counters",
@@ -29,6 +30,7 @@ EXPECTED_STAGE_ORDER = [
     "dynamic churn (quick mode)",
     "store-corruption smoke",
     "serve smoke (quick mode)",
+    "registry completeness",
     "experiments-md drift",
 ]
 
@@ -54,6 +56,17 @@ def no_github(monkeypatch):
     monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
 
 
+@pytest.fixture()
+def with_ruff(ci_check, monkeypatch):
+    """Pretend ruff is installed so the stage plan is environment-independent."""
+    monkeypatch.setattr(ci_check.shutil, "which", lambda name: "/usr/bin/ruff")
+
+
+@pytest.fixture()
+def without_ruff(ci_check, monkeypatch):
+    monkeypatch.setattr(ci_check.shutil, "which", lambda name: None)
+
+
 def _args(**overrides):
     base = {"fast": False, "junitxml": None, "snapshot": None}
     base.update(overrides)
@@ -76,25 +89,43 @@ class FakeRun:
 
 
 class TestStagePlan:
-    def test_stage_order_and_names(self, ci_check):
+    def test_stage_order_and_names(self, ci_check, with_ruff):
         plan = ci_check.stage_plan(_args(), "snap.json")
         assert [name for name, _ in plan] == EXPECTED_STAGE_ORDER
         assert all(cmd is not None for _, cmd in plan)
 
-    def test_fast_skips_only_the_pytest_stages(self, ci_check):
+    def test_lint_stage_skipped_without_ruff(self, ci_check, without_ruff):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        assert plan["lint (ruff)"] is None
+
+    def test_lint_stage_runs_ruff_check_when_installed(self, ci_check, with_ruff):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        lint = plan["lint (ruff)"]
+        assert lint[:2] == ["ruff", "check"]
+
+    def test_registry_completeness_stage_invokes_the_gate_script(self, ci_check):
+        plan = dict(ci_check.stage_plan(_args(), "snap.json"))
+        gate = plan["registry completeness"]
+        assert any("registry_check.py" in part for part in gate)
+
+    def test_fast_skips_only_the_pytest_stages(self, ci_check, with_ruff):
         plan = ci_check.stage_plan(_args(fast=True), "snap.json")
         assert [name for name, _ in plan] == EXPECTED_STAGE_ORDER
         commands = dict(plan)
         assert commands["tier-1 tests"] is None
         assert commands["tier-1 tests (pure-python kernel)"] is None
         assert all(
-            commands[name] is not None for name in EXPECTED_STAGE_ORDER[2:]
+            commands[name] is not None
+            for name in EXPECTED_STAGE_ORDER
+            if name not in ("tier-1 tests", "tier-1 tests (pure-python kernel)")
         )
 
-    def test_junitxml_passes_through_to_default_pytest_stage_only(self, ci_check):
+    def test_junitxml_passes_through_to_default_pytest_stage_only(self, ci_check, with_ruff):
         plan = dict(ci_check.stage_plan(_args(junitxml="report.xml"), "snap.json"))
         assert "--junitxml=report.xml" in plan["tier-1 tests"]
-        for name in EXPECTED_STAGE_ORDER[1:]:
+        for name in EXPECTED_STAGE_ORDER:
+            if name == "tier-1 tests":
+                continue
             assert not any("junitxml" in part for part in plan[name])
 
     def test_pure_python_stage_pins_the_kernel_env(self, ci_check):
@@ -168,7 +199,7 @@ class TestStagePlan:
 
 
 class TestMainOrchestration:
-    def test_all_stages_pass(self, ci_check, monkeypatch, capsys, no_github):
+    def test_all_stages_pass(self, ci_check, monkeypatch, capsys, no_github, with_ruff):
         fake = FakeRun()
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         assert ci_check.main([]) == 0
@@ -176,34 +207,41 @@ class TestMainOrchestration:
         assert len(fake.calls) == len(EXPECTED_STAGE_ORDER)
         assert "all checks passed" in capsys.readouterr().out
 
-    def test_fast_mode_runs_everything_but_pytest(self, ci_check, monkeypatch, capsys, no_github):
+    def test_missing_ruff_skips_lint_without_failing(self, ci_check, monkeypatch, capsys, no_github, without_ruff):
+        fake = FakeRun()
+        monkeypatch.setattr(ci_check.subprocess, "run", fake)
+        assert ci_check.main([]) == 0
+        assert len(fake.calls) == len(EXPECTED_STAGE_ORDER) - 1
+        assert "lint (ruff): skipped" in capsys.readouterr().out
+
+    def test_fast_mode_runs_everything_but_pytest(self, ci_check, monkeypatch, capsys, no_github, with_ruff):
         fake = FakeRun()
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         assert ci_check.main(["--fast"]) == 0
         assert len(fake.calls) == len(EXPECTED_STAGE_ORDER) - 2
-        assert not any("pytest" in call[2] if len(call) > 2 else False for call in fake.calls[:1])
         out = capsys.readouterr().out
         assert "tier-1 tests: skipped" in out
 
-    def test_nonzero_stage_fails_run_and_skips_the_rest(self, ci_check, monkeypatch, capsys, no_github):
+    def test_nonzero_stage_fails_run_and_skips_the_rest(self, ci_check, monkeypatch, capsys, no_github, with_ruff):
         fake = FakeRun(returncodes={"bench_compare.py": 3})
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         assert ci_check.main([]) == 1
-        # both tier-1 stages + golden ran; every later stage was skipped.
-        assert len(fake.calls) == 3
+        # lint + both tier-1 stages + golden ran; every later stage skipped.
+        assert len(fake.calls) == 4
         out = capsys.readouterr().out
         assert "FAILED (exit 3)" in out
         assert "phase micro-benchmarks (quick mode): skipped (earlier stage failed)" in out
+        assert "registry completeness: skipped (earlier stage failed)" in out
         assert "CHECKS FAILED" in out
 
-    def test_snapshot_file_is_kept_when_requested(self, ci_check, monkeypatch, tmp_path, no_github):
+    def test_snapshot_file_is_kept_when_requested(self, ci_check, monkeypatch, tmp_path, no_github, with_ruff):
         fake = FakeRun()
         monkeypatch.setattr(ci_check.subprocess, "run", fake)
         snapshot = tmp_path / "golden.json"
         snapshot.write_text("{}", encoding="utf-8")
         assert ci_check.main(["--snapshot", str(snapshot)]) == 0
         assert snapshot.exists()
-        golden_call = fake.calls[2]
+        golden_call = fake.calls[3]
         assert str(snapshot) in golden_call
 
 

@@ -96,6 +96,29 @@ def test_algorithms_list_unknown_tag(capsys):
     assert main(["algorithms", "list", "--tag", "no-such-tag"]) == 2
 
 
+def test_algorithms_list_json_reports_capabilities_and_provenance(capsys):
+    """Every JSON entry carries the incremental flag and capacity provenance."""
+    assert main(["algorithms", "list", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    by_name = {entry["name"] for entry in data}
+    assert {"elkin-mst-2017", "elkin-matar-linear",
+            "elkin-neiman-sparse", "eest-low-stretch-tree"} <= by_name
+    for entry in data:
+        assert isinstance(entry["supports_incremental"], bool)
+        assert entry["guarantee_kind"] in ("stretch", "exact-mst", "average-stretch")
+        assert entry["capacity_source"] in ("measured", "fallback")
+        if entry["capacity_source"] == "measured":
+            assert "kernel_backend" in entry and "budget_seconds" in entry
+
+
+def test_build_survey_siblings_by_name(capsys):
+    """Each PR-10 registration is CLI-buildable with verification."""
+    for name in ("elkin-mst-2017", "eest-low-stretch-tree"):
+        assert main(["build", "--algorithm", name, "--family", "gnp",
+                     "--size", "30", "--seed", "2", "--verify"]) == 0
+        assert f"algorithm: {name}" in capsys.readouterr().out
+
+
 def test_params_command_outputs_json(capsys):
     exit_code = main(["params", "--epsilon", "0.25", "--kappa", "3", "--rho", "0.34", "--internal", "--size", "500"])
     assert exit_code == 0

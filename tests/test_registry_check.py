@@ -1,0 +1,121 @@
+"""Tests for the registry completeness gate (``scripts/registry_check.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import algorithms
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT_PATH = REPO_ROOT / "scripts" / "registry_check.py"
+
+
+@pytest.fixture(scope="module")
+def registry_check():
+    spec = importlib.util.spec_from_file_location("registry_check_under_test", SCRIPT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def _healthy_fixtures(tmp_path: Path):
+    """Synthetic CAPACITY.json + EXPERIMENTS.md covering every registration."""
+    names = algorithms.algorithm_names()
+    capacity = tmp_path / "CAPACITY.json"
+    capacity.write_text(
+        json.dumps(
+            {
+                "schema": "capacity-ladder/v1",
+                "entries": {name: {"max_practical_vertices": 1024} for name in names},
+            }
+        ),
+        encoding="utf-8",
+    )
+    rows = "\n".join(f"| {name} | tags | params | 1024 | desc |" for name in names)
+    experiments = tmp_path / "EXPERIMENTS.md"
+    experiments.write_text(
+        "# Experiments\n\n## Algorithm registry\n\n"
+        "| algorithm | tags | parameters | max n | description |\n"
+        "| --- | --- | --- | --- | --- |\n"
+        f"{rows}\n\n## Next section\n\ntext\n",
+        encoding="utf-8",
+    )
+    return experiments, capacity
+
+
+def test_healthy_fixtures_report_no_problems(registry_check, tmp_path):
+    experiments, capacity = _healthy_fixtures(tmp_path)
+    assert registry_check.find_problems(experiments, capacity) == []
+
+
+def test_every_registration_has_scenario_membership(registry_check):
+    """The real scenario registry must exercise every registered algorithm."""
+    members = registry_check.scenario_membership()
+    missing = [n for n in algorithms.algorithm_names() if n not in members]
+    assert missing == []
+
+
+def test_stripped_docs_row_fails_the_gate(registry_check, tmp_path):
+    experiments, capacity = _healthy_fixtures(tmp_path)
+    victim = algorithms.algorithm_names()[0]
+    content = "\n".join(
+        line
+        for line in experiments.read_text(encoding="utf-8").splitlines()
+        if not line.startswith(f"| {victim} |")
+    )
+    experiments.write_text(content, encoding="utf-8")
+    problems = registry_check.find_problems(experiments, capacity)
+    assert len(problems) == 1
+    assert victim in problems[0] and "Algorithm registry" in problems[0]
+
+
+def test_missing_capacity_entry_fails_the_gate(registry_check, tmp_path):
+    experiments, capacity = _healthy_fixtures(tmp_path)
+    ladder = json.loads(capacity.read_text(encoding="utf-8"))
+    victim = algorithms.algorithm_names()[-1]
+    del ladder["entries"][victim]
+    capacity.write_text(json.dumps(ladder), encoding="utf-8")
+    problems = registry_check.find_problems(experiments, capacity)
+    assert len(problems) == 1
+    assert victim in problems[0] and "CAPACITY.json" in problems[0]
+
+
+def test_stale_docs_row_for_unregistered_algorithm_fails(registry_check, tmp_path):
+    experiments, capacity = _healthy_fixtures(tmp_path)
+    with experiments.open("a", encoding="utf-8") as handle:
+        handle.write("")
+    content = experiments.read_text(encoding="utf-8").replace(
+        "## Next section",
+        "| ghost-algorithm | tags | params | 1024 | desc |\n\n## Next section",
+    )
+    # The ghost row must land inside the registry table, not after it.
+    content = content.replace(
+        "\n\n| ghost-algorithm", "\n| ghost-algorithm", 1
+    )
+    experiments.write_text(content, encoding="utf-8")
+    problems = registry_check.find_problems(experiments, capacity)
+    assert any("ghost-algorithm" in p and "not registered" in p for p in problems)
+
+
+def test_main_exit_codes(registry_check, tmp_path, capsys):
+    experiments, capacity = _healthy_fixtures(tmp_path)
+    argv = [
+        "--experiments-md",
+        str(experiments),
+        "--capacity-json",
+        str(capacity),
+    ]
+    assert registry_check.main(argv) == 0
+    assert "registered algorithms" in capsys.readouterr().out
+    experiments.write_text("# nothing here\n", encoding="utf-8")
+    assert registry_check.main(argv) == 1
+    assert "problem(s)" in capsys.readouterr().err
